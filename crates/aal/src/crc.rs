@@ -1,0 +1,217 @@
+//! CRC-10 (AAL3/4 SAR) and CRC-32 (AAL5 CPCS).
+//!
+//! Each CRC ships in two forms: a bit-by-bit *reference* implementation
+//! transcribed directly from the polynomial arithmetic, and a table-driven
+//! implementation used everywhere else. Tests assert they agree on random
+//! inputs; the reference exists so that the fast path is checkable against
+//! something independently convincing.
+//!
+//! * **CRC-10** — re-exported from [`hni_atm::crc10`] (the ATM layer
+//!   owns it: OAM trailers use the same code). Computed over the whole
+//!   SAR-PDU with the CRC field zeroed (I.363 §2).
+//! * **CRC-32** — g(x) = the IEEE 802.3 polynomial, MSB-first
+//!   (non-reflected), initial value all-ones, final complement — the
+//!   AAL5 convention (I.363.5). Note this is *not* the reflected
+//!   Ethernet-software convention; bit order matters.
+
+// CRC-10 lives in `hni_atm::crc10` (the OAM trailer uses it too);
+// re-exported here because the AAL3/4 SAR trailer is its other consumer
+// and existing code imports it from this module.
+pub use hni_atm::crc10::{crc10, crc10_bits, crc10_reference, POLY10};
+
+/// CRC-32 polynomial, MSB-first (x³² implicit).
+pub const POLY32: u32 = 0x04C1_1DB7;
+
+/// Bit-by-bit CRC-32 reference (MSB-first, init all-ones, final
+/// complement — the AAL5 convention).
+pub fn crc32_reference(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        for i in (0..8).rev() {
+            let bit = ((byte >> i) & 1) as u32;
+            let top = (crc >> 31) & 1;
+            crc <<= 1;
+            if top ^ bit != 0 {
+                crc ^= POLY32;
+            }
+        }
+    }
+    !crc
+}
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u32) << 24;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 0x8000_0000 != 0 {
+                (crc << 1) ^ POLY32
+            } else {
+                crc << 1
+            };
+            b += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Table-driven CRC-32 (AAL5 convention).
+pub fn crc32(data: &[u8]) -> u32 {
+    !data.iter().fold(0xFFFF_FFFFu32, |crc, &byte| {
+        (crc << 8) ^ CRC32_TABLE[(((crc >> 24) as u8) ^ byte) as usize]
+    })
+}
+
+/// Incremental CRC-32 for streaming use (segmentation computes the frame
+/// CRC as cells are produced, never needing the whole frame in one
+/// buffer — exactly what the adaptor hardware does).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32Accumulator {
+    state: u32,
+}
+
+impl Default for Crc32Accumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32Accumulator {
+    /// Fresh accumulator (all-ones preset).
+    pub fn new() -> Self {
+        Crc32Accumulator { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold in more octets.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.state =
+                (self.state << 8) ^ CRC32_TABLE[(((self.state >> 24) as u8) ^ byte) as usize];
+        }
+    }
+
+    /// Final CRC value (complemented). The accumulator may keep being
+    /// updated afterwards; `finish` is non-destructive.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic byte generator (avoid dev-dep cycles).
+    fn pseudo_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc10_table_matches_reference() {
+        for seed in 0..50u64 {
+            let data = pseudo_bytes(seed, (seed as usize % 96) + 1);
+            assert_eq!(crc10(&data), crc10_reference(&data), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crc32_table_matches_reference() {
+        for seed in 0..50u64 {
+            let data = pseudo_bytes(seed + 1000, (seed as usize % 200) + 1);
+            assert_eq!(crc32(&data), crc32_reference(&data), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crc32_accumulator_matches_oneshot() {
+        let data = pseudo_bytes(7, 300);
+        let mut acc = Crc32Accumulator::new();
+        for chunk in data.chunks(48) {
+            acc.update(chunk);
+        }
+        assert_eq!(acc.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn crc10_is_in_range() {
+        for seed in 0..20u64 {
+            let data = pseudo_bytes(seed + 99, 48);
+            assert!(crc10(&data) < 1024);
+        }
+    }
+
+    #[test]
+    fn crc10_appended_residual_is_zero() {
+        // Property of this CRC convention (no init, no xor-out): a
+        // codeword formed as message-bits ∥ CRC checks to zero. Emulate
+        // the SAR trailer layout: 46 message octets, 6 LI bits, then the
+        // 10 CRC bits — the CRC is computed over the 374 bits preceding
+        // it (bit-granular), and the completed 48 octets check to zero
+        // with the plain byte-wise CRC.
+        let msg = pseudo_bytes(3, 46);
+        let li: u8 = 0b101010;
+        let mut whole = msg.clone();
+        whole.push(li << 2); // LI in the top 6 bits, CRC bits zero
+        whole.push(0);
+        let c = crc10_bits(&whole, 46 * 8 + 6);
+        let n = whole.len();
+        whole[n - 2] |= (c >> 8) as u8;
+        whole[n - 1] = c as u8;
+        assert_eq!(crc10(&whole), 0);
+    }
+
+    #[test]
+    fn crc10_bits_byte_aligned_matches_bytewise() {
+        let data = pseudo_bytes(21, 48);
+        assert_eq!(crc10_bits(&data, 48 * 8), crc10(&data));
+        assert_eq!(crc10_bits(&data, 24 * 8), crc10(&data[..24]));
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip() {
+        let data = pseudo_bytes(11, 96);
+        let c = crc32(&data);
+        for bit in 0..(96 * 8) {
+            let mut tampered = data.clone();
+            tampered[bit / 8] ^= 0x80 >> (bit % 8);
+            assert_ne!(crc32(&tampered), c, "bit {bit} undetected");
+        }
+    }
+
+    #[test]
+    fn crc10_detects_any_single_bit_flip() {
+        let data = pseudo_bytes(13, 48);
+        let c = crc10(&data);
+        for bit in 0..(48 * 8) {
+            let mut tampered = data.clone();
+            tampered[bit / 8] ^= 0x80 >> (bit % 8);
+            assert_ne!(crc10(&tampered), c, "bit {bit} undetected");
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // AAL5 convention applied to the 40-octet all-zero CPCS body:
+        // cross-checked against the bitwise reference (which is the
+        // polynomial definition transcribed) — this pins the table
+        // construction and conventions forever.
+        let zeros = [0u8; 40];
+        assert_eq!(crc32(&zeros), crc32_reference(&zeros));
+        // And empirically: CRC of empty input is 0 per this convention?
+        // No: init all-ones complemented through zero octets stays
+        // 0xFFFFFFFF, complement = 0... the empty-input value:
+        assert_eq!(crc32(&[]), !0xFFFF_FFFFu32);
+    }
+}

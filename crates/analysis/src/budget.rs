@@ -1,0 +1,79 @@
+//! R-T1: the per-cell instruction budget table.
+//!
+//! The table that frames the whole design problem: how many engine
+//! instructions fit inside one cell time, as a function of line rate and
+//! engine speed. Everything else in the evaluation is a fight to get the
+//! per-cell work under these numbers.
+
+use hni_sonet::LineRate;
+
+/// One row of the budget table.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetRow {
+    /// Line rate.
+    pub rate: LineRate,
+    /// Cell time at raw line rate, ns.
+    pub cell_line_ns: f64,
+    /// Cell slot at payload rate, ns.
+    pub cell_slot_ns: f64,
+    /// Engine MIPS.
+    pub mips: f64,
+    /// Instructions available per payload cell slot.
+    pub instructions_per_slot: f64,
+}
+
+/// The full grid: each line rate × each engine speed.
+pub fn budget_rows(mips_grid: &[f64]) -> Vec<BudgetRow> {
+    let mut rows = Vec::new();
+    for rate in [LineRate::Oc3, LineRate::Oc12] {
+        for &mips in mips_grid {
+            let slot = rate.cell_slot_time();
+            rows.push(BudgetRow {
+                rate,
+                cell_line_ns: rate.cell_line_time().as_ns_f64(),
+                cell_slot_ns: slot.as_ns_f64(),
+                mips,
+                instructions_per_slot: mips * slot.as_s_f64() * 1e6,
+            });
+        }
+    }
+    rows
+}
+
+/// The canonical grid used by the report.
+pub fn default_mips_grid() -> Vec<f64> {
+    vec![12.5, 25.0, 50.0, 100.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions() {
+        let rows = budget_rows(&default_mips_grid());
+        assert_eq!(rows.len(), 8);
+    }
+
+    #[test]
+    fn headline_values() {
+        let rows = budget_rows(&[25.0]);
+        let oc3 = rows.iter().find(|r| r.rate == LineRate::Oc3).unwrap();
+        let oc12 = rows.iter().find(|r| r.rate == LineRate::Oc12).unwrap();
+        assert!((oc3.cell_line_ns - 2726.3).abs() < 0.2);
+        assert!((oc12.cell_line_ns - 681.6).abs() < 0.1);
+        // 25 MIPS at OC-12: ~17.7 instructions per payload slot.
+        assert!((oc12.instructions_per_slot - 17.69).abs() < 0.05);
+        // OC-3 budget is 4× the OC-12 budget (rates are 4:1; slot times
+        // round to the picosecond, so allow that rounding).
+        assert!((oc3.instructions_per_slot / oc12.instructions_per_slot - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn budget_scales_linearly_with_mips() {
+        let rows = budget_rows(&[10.0, 20.0]);
+        let r10 = &rows[0];
+        let r20 = &rows[1];
+        assert!((r20.instructions_per_slot - 2.0 * r10.instructions_per_slot).abs() < 1e-9);
+    }
+}

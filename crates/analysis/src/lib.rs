@@ -1,0 +1,38 @@
+//! # hni-analysis — the closed-form side of the evaluation
+//!
+//! The paper's methodology is analysis first, implementation second:
+//! count the instructions, divide by the MIPS, compare to the cell
+//! clock. This crate is that analysis, over the **same** cost tables
+//! (`hni_core::TaskCosts`) the discrete-event simulations consume — so
+//! when EXPERIMENTS.md shows analysis and simulation agreeing, that is
+//! two genuinely different evaluation methods meeting, and where they
+//! *disagree* the delta is queueing (the thing closed forms can't see).
+//!
+//! * [`budget`] — R-T1: cell clocks vs engine instruction budgets.
+//! * [`partition`] — R-T2: per-task costs under each hardware split and
+//!   the resulting per-stage bottleneck cell rates.
+//! * [`throughput`] — R-F1/R-F2 overlays: goodput vs packet size from
+//!   the three resource bounds (engine, bus, link).
+//! * [`latency`] — R-F3: unloaded end-to-end latency, by component.
+//! * [`memory`] — R-T3: adaptor memory per frame under six buffer
+//!   organisations.
+//! * [`loss`] — R-F5: goodput vs cell-loss rate, AAL5 vs AAL3/4,
+//!   frame-size crossovers.
+//! * [`overhead`] — R-T5: where the 622 Mb/s goes (layer-by-layer
+//!   overhead waterfall).
+
+pub mod budget;
+pub mod latency;
+pub mod loss;
+pub mod memory;
+pub mod overhead;
+pub mod partition;
+pub mod throughput;
+
+pub use budget::{budget_rows, BudgetRow};
+pub use latency::{unloaded_latency, LatencyBreakdown};
+pub use loss::{goodput_under_loss, LossPoint};
+pub use memory::{memory_rows, MemoryStrategy, StrategyRow};
+pub use overhead::{overhead_waterfall, OverheadStep};
+pub use partition::{partition_rows, stage_rates, PartitionRow, StageRates};
+pub use throughput::{predict_rx, predict_tx, ThroughputPrediction};

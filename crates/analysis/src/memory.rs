@@ -1,0 +1,204 @@
+//! R-T3: adaptor memory per frame under six buffer organisations.
+//!
+//! Reassembly memory must absorb frames of unknown length arriving
+//! interleaved. The design space (first-principles arithmetic; pointer =
+//! 4 octets, validity = 1 bit per cell, maximum AAL5 frame = 1366
+//! cells):
+//!
+//! | strategy | idea | random cell access |
+//! |---|---|---|
+//! | per-cell linked list | one 48-octet buffer + next pointer per cell | O(n) walk |
+//! | contiguous max | one max-frame slab per frame | O(1) |
+//! | pointer array | 1366-slot pointer array per frame, cells allocated singly | O(1) |
+//! | container list (k) | linked k-cell containers | O(n/k) walk |
+//! | container array (k) | pointer array over k-cell containers | O(1) |
+//! | host memory | cells land in host RAM; adaptor keeps control info only | O(1), but every touch crosses the bus |
+//!
+//! The figure of merit is local (adaptor SRAM) octets consumed per
+//! frame, evaluated at the three canonical frame sizes: 2 cells (a small
+//! message), 192 cells (a 9180-octet IP datagram), 1366 cells (the
+//! largest AAL5 frame).
+
+/// Pointer size in adaptor memory, octets.
+pub const PTR: usize = 4;
+/// Cell payload size, octets.
+pub const CELL: usize = 48;
+/// Largest AAL5 frame, cells.
+pub const MAX_CELLS: usize = 1366;
+
+/// The six organisations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryStrategy {
+    /// Linked list of single-cell buffers.
+    PerCellList,
+    /// One contiguous maximum-size slab per frame.
+    ContiguousMax,
+    /// Per-frame array of per-cell pointers.
+    PointerArray,
+    /// Linked list of k-cell containers.
+    ContainerList(usize),
+    /// Per-frame pointer array over k-cell containers.
+    ContainerArray(usize),
+    /// Payload in host memory; adaptor holds control info only.
+    HostMemory,
+}
+
+impl MemoryStrategy {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            MemoryStrategy::PerCellList => "per-cell linked list".into(),
+            MemoryStrategy::ContiguousMax => "contiguous (max-size)".into(),
+            MemoryStrategy::PointerArray => "pointer array".into(),
+            MemoryStrategy::ContainerList(k) => format!("container list ({k})"),
+            MemoryStrategy::ContainerArray(k) => format!("container array ({k})"),
+            MemoryStrategy::HostMemory => "host memory".into(),
+        }
+    }
+
+    /// Adaptor-local octets consumed by one frame of `cells` cells.
+    pub fn local_octets(&self, cells: usize) -> usize {
+        let valid_bitmap = MAX_CELLS.div_ceil(8); // sized for the worst case
+        match *self {
+            // Each cell: payload + next pointer + valid bit (byte-rounded
+            // into the buffer header; charge 1 octet).
+            MemoryStrategy::PerCellList => cells * (CELL + PTR + 1),
+            // Whole slab regardless of actual length, plus one bitmap.
+            MemoryStrategy::ContiguousMax => MAX_CELLS * CELL + valid_bitmap,
+            // Fixed pointer array + bitmap, plus one 48-octet buffer per
+            // actual cell.
+            MemoryStrategy::PointerArray => MAX_CELLS * PTR + valid_bitmap + cells * CELL,
+            // Containers hold k payloads + a k-bit map + next pointer.
+            MemoryStrategy::ContainerList(k) => {
+                let containers = cells.div_ceil(k).max(1);
+                containers * (k * CELL + k.div_ceil(8) + PTR)
+            }
+            // Pointer array over containers (sized for the max frame),
+            // plus the containers actually used.
+            MemoryStrategy::ContainerArray(k) => {
+                let containers = cells.div_ceil(k).max(1);
+                MAX_CELLS.div_ceil(k) * PTR + containers * (k * CELL + k.div_ceil(8))
+            }
+            // Adaptor keeps: host-page pointer, bitmap, byte count.
+            MemoryStrategy::HostMemory => PTR + valid_bitmap + 4,
+        }
+    }
+
+    /// Whether a cell at a random index is reachable in constant time
+    /// (false = a list walk is needed).
+    pub fn constant_time_access(&self) -> bool {
+        !matches!(
+            self,
+            MemoryStrategy::PerCellList | MemoryStrategy::ContainerList(_)
+        )
+    }
+}
+
+/// One row of the R-T3 table.
+#[derive(Clone, Debug)]
+pub struct StrategyRow {
+    /// Strategy evaluated.
+    pub strategy: MemoryStrategy,
+    /// Display name.
+    pub name: String,
+    /// Octets per 2-cell frame.
+    pub small: usize,
+    /// Octets per 192-cell frame (9180-octet datagram).
+    pub datagram: usize,
+    /// Octets per 1366-cell frame (max AAL5).
+    pub max: usize,
+    /// Constant-time random access?
+    pub o1_access: bool,
+}
+
+/// The canonical strategies evaluated at the canonical frame sizes.
+pub fn memory_rows() -> Vec<StrategyRow> {
+    let strategies = [
+        MemoryStrategy::PerCellList,
+        MemoryStrategy::ContiguousMax,
+        MemoryStrategy::PointerArray,
+        MemoryStrategy::ContainerList(32),
+        MemoryStrategy::ContainerArray(32),
+        MemoryStrategy::HostMemory,
+    ];
+    strategies
+        .iter()
+        .map(|&s| StrategyRow {
+            strategy: s,
+            name: s.name(),
+            small: s.local_octets(2),
+            datagram: s.local_octets(192),
+            max: s.local_octets(1366),
+            o1_access: s.constant_time_access(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_frames_favour_lists_over_slabs() {
+        let list = MemoryStrategy::PerCellList.local_octets(2);
+        let slab = MemoryStrategy::ContiguousMax.local_octets(2);
+        assert!(list < slab / 100, "list {list} vs slab {slab}");
+    }
+
+    #[test]
+    fn slab_size_is_constant() {
+        let s = MemoryStrategy::ContiguousMax;
+        assert_eq!(s.local_octets(2), s.local_octets(1366));
+    }
+
+    #[test]
+    fn max_frames_make_strategies_converge() {
+        // At 1366 cells every payload-in-SRAM strategy costs ≈ 65 KiB;
+        // within 12% of each other.
+        let all = [
+            MemoryStrategy::PerCellList,
+            MemoryStrategy::ContiguousMax,
+            MemoryStrategy::PointerArray,
+            MemoryStrategy::ContainerList(32),
+            MemoryStrategy::ContainerArray(32),
+        ];
+        let sizes: Vec<usize> = all.iter().map(|s| s.local_octets(1366)).collect();
+        let min = *sizes.iter().min().unwrap() as f64;
+        let max = *sizes.iter().max().unwrap() as f64;
+        assert!(max / min < 1.12, "spread {min}..{max}");
+    }
+
+    #[test]
+    fn host_memory_is_tiny_and_constant() {
+        let s = MemoryStrategy::HostMemory;
+        assert!(s.local_octets(1366) < 200);
+        assert_eq!(s.local_octets(2), s.local_octets(1366));
+    }
+
+    #[test]
+    fn container_array_is_o1_list_is_not() {
+        assert!(MemoryStrategy::ContainerArray(32).constant_time_access());
+        assert!(!MemoryStrategy::ContainerList(32).constant_time_access());
+        assert!(!MemoryStrategy::PerCellList.constant_time_access());
+        assert!(MemoryStrategy::PointerArray.constant_time_access());
+    }
+
+    #[test]
+    fn container_array_close_to_list_for_datagrams() {
+        // The pointer-array overhead over containers is small: for a
+        // 192-cell frame the two container strategies differ by < 5%.
+        let list = MemoryStrategy::ContainerList(32).local_octets(192);
+        let arr = MemoryStrategy::ContainerArray(32).local_octets(192);
+        let rel = (arr as f64 - list as f64).abs() / list as f64;
+        assert!(rel < 0.05, "list {list} arr {arr}");
+    }
+
+    #[test]
+    fn rows_table_complete() {
+        let rows = memory_rows();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.small <= r.max || r.small == r.max || r.strategy == MemoryStrategy::ContiguousMax || r.strategy == MemoryStrategy::HostMemory);
+        }
+    }
+}

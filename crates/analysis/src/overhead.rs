@@ -1,0 +1,80 @@
+//! R-T5: where the 622 Mb/s goes — the layer-by-layer overhead
+//! waterfall.
+//!
+//! Every layer shaves something off the line rate before application
+//! data emerges:
+//!
+//! ```text
+//! line rate → SONET TOH/POH/stuff → cell headers → AAL envelope → SDU
+//! ```
+//!
+//! The waterfall makes explicit how much performance is committed before
+//! the host interface has done anything at all — and therefore what the
+//! actual target for the interface design is.
+
+use hni_aal::AalType;
+use hni_sonet::LineRate;
+
+/// One step of the waterfall.
+#[derive(Clone, Debug)]
+pub struct OverheadStep {
+    /// What the step represents.
+    pub label: String,
+    /// Rate remaining after this step, bits/s.
+    pub rate_bps: f64,
+    /// Fraction of the line rate remaining.
+    pub fraction_of_line: f64,
+}
+
+/// The waterfall for a given rate, AAL and frame size.
+pub fn overhead_waterfall(rate: LineRate, aal: AalType, len: usize) -> Vec<OverheadStep> {
+    let line = rate.line_bps();
+    let mut steps = Vec::new();
+    let mut push = |label: String, bps: f64| {
+        steps.push(OverheadStep {
+            label,
+            rate_bps: bps,
+            fraction_of_line: bps / line,
+        });
+    };
+    push(format!("{:?} line rate", rate), line);
+    let payload = rate.payload_bps();
+    push("after SONET overhead (TOH+POH+stuff)".into(), payload);
+    let cell_payload = payload * 48.0 / 53.0;
+    push("after ATM cell headers".into(), cell_payload);
+    let sdu = cell_payload * aal.efficiency(len);
+    push(
+        format!("after {aal} envelope ({len}-octet frames)"),
+        sdu,
+    );
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waterfall_is_decreasing() {
+        let steps = overhead_waterfall(LineRate::Oc12, AalType::Aal5, 9180);
+        for w in steps.windows(2) {
+            assert!(w[1].rate_bps < w[0].rate_bps);
+        }
+    }
+
+    #[test]
+    fn oc12_aal5_datagram_net_rate() {
+        let steps = overhead_waterfall(LineRate::Oc12, AalType::Aal5, 9180);
+        let last = steps.last().unwrap();
+        // 622.08 → 599.04 → 542.5 → ~540.4 Mb/s.
+        assert!((last.rate_bps / 1e6 - 540.4).abs() < 1.0, "{}", last.rate_bps);
+        assert!((last.fraction_of_line - 0.868).abs() < 0.01);
+    }
+
+    #[test]
+    fn aal34_waterfall_is_lower() {
+        let a5 = overhead_waterfall(LineRate::Oc12, AalType::Aal5, 9180);
+        let a34 = overhead_waterfall(LineRate::Oc12, AalType::Aal34, 9180);
+        assert!(a34.last().unwrap().rate_bps < a5.last().unwrap().rate_bps);
+    }
+}

@@ -1,0 +1,158 @@
+//! R-T2: the hardware/software partition table and per-stage bottleneck
+//! rates.
+//!
+//! For each candidate partition, what does each fast-path task cost the
+//! engine, what is the total per-cell and per-packet engine work in each
+//! direction, and — dividing into the engine's speed — what cell rate
+//! can each direction sustain? Set against the link's slot rate, this
+//! table says *which* partitions are viable at which line rate, which is
+//! the design decision the architecture embodies.
+
+use hni_core::engine::{HwPartition, ProtocolEngine, TaskKind};
+use hni_sonet::LineRate;
+
+/// Cost of one task under one partition.
+#[derive(Clone, Debug)]
+pub struct PartitionRow {
+    /// Partition name.
+    pub partition: &'static str,
+    /// Task label.
+    pub task: &'static str,
+    /// Whether the task is in hardware under this partition.
+    pub in_hardware: bool,
+    /// Engine instructions it costs.
+    pub engine_instructions: u32,
+    /// Engine time at the given MIPS, ns.
+    pub engine_ns: f64,
+}
+
+/// Per-direction aggregate rates for one partition.
+#[derive(Clone, Debug)]
+pub struct StageRates {
+    /// Partition name.
+    pub partition: &'static str,
+    /// Engine instructions per transmitted cell.
+    pub tx_instr_per_cell: u32,
+    /// Engine instructions per received cell.
+    pub rx_instr_per_cell: u32,
+    /// Max cells/s the transmit engine sustains (per-cell work only).
+    pub tx_cells_per_second: f64,
+    /// Max cells/s the receive engine sustains (per-cell work only).
+    pub rx_cells_per_second: f64,
+    /// Whether each direction keeps up with the given line rate.
+    pub tx_keeps_up: bool,
+    /// Receive-direction verdict.
+    pub rx_keeps_up: bool,
+}
+
+/// The standard three partitions.
+pub fn standard_partitions() -> Vec<HwPartition> {
+    vec![
+        HwPartition::all_software(),
+        HwPartition::paper_split(),
+        HwPartition::full_hardware(),
+    ]
+}
+
+/// Full per-task table for the given partitions at `mips`.
+pub fn partition_rows(partitions: &[HwPartition], mips: f64) -> Vec<PartitionRow> {
+    let mut rows = Vec::new();
+    for p in partitions {
+        let engine = ProtocolEngine::new(mips, p.clone());
+        for task in TaskKind::ALL {
+            let instr = p.engine_instructions(&engine.costs, task);
+            rows.push(PartitionRow {
+                partition: p.name,
+                task: task.label(),
+                in_hardware: p.in_hardware(task),
+                engine_instructions: instr,
+                engine_ns: engine.instr_time(instr).as_ns_f64(),
+            });
+        }
+    }
+    rows
+}
+
+/// Aggregate per-direction rates for each partition at `mips`, judged
+/// against `rate`'s payload slot rate.
+pub fn stage_rates(partitions: &[HwPartition], mips: f64, rate: LineRate) -> Vec<StageRates> {
+    let slot_rate = rate.cell_slots_per_second();
+    partitions
+        .iter()
+        .map(|p| {
+            let engine = ProtocolEngine::new(mips, p.clone());
+            let tx_i = engine.tx_per_cell_instructions();
+            let rx_i = engine.rx_per_cell_instructions();
+            let tx_rate = if tx_i == 0 {
+                f64::INFINITY
+            } else {
+                mips * 1e6 / tx_i as f64
+            };
+            let rx_rate = if rx_i == 0 {
+                f64::INFINITY
+            } else {
+                mips * 1e6 / rx_i as f64
+            };
+            StageRates {
+                partition: p.name,
+                tx_instr_per_cell: tx_i,
+                rx_instr_per_cell: rx_i,
+                tx_cells_per_second: tx_rate,
+                rx_cells_per_second: rx_rate,
+                tx_keeps_up: tx_rate >= slot_rate,
+                rx_keeps_up: rx_rate >= slot_rate,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_dimensions() {
+        let rows = partition_rows(&standard_partitions(), 25.0);
+        assert_eq!(rows.len(), 3 * TaskKind::ALL.len());
+    }
+
+    #[test]
+    fn hardware_rows_cost_zero() {
+        let rows = partition_rows(&standard_partitions(), 25.0);
+        for r in rows {
+            if r.in_hardware {
+                assert_eq!(r.engine_instructions, 0, "{} / {}", r.partition, r.task);
+            }
+        }
+    }
+
+    #[test]
+    fn design_point_verdicts() {
+        // The architecture's claim, as a table: at OC-12, all-software
+        // fails both directions, the paper split passes both, full
+        // hardware trivially passes.
+        let rates = stage_rates(&standard_partitions(), 25.0, LineRate::Oc12);
+        let by_name = |n: &str| rates.iter().find(|r| r.partition == n).unwrap();
+        let sw = by_name("all-software");
+        assert!(!sw.tx_keeps_up && !sw.rx_keeps_up);
+        let split = by_name("paper-split");
+        assert!(split.tx_keeps_up && split.rx_keeps_up);
+        let hw = by_name("full-hardware");
+        assert!(hw.tx_keeps_up && hw.rx_keeps_up);
+    }
+
+    #[test]
+    fn all_software_fails_even_oc3() {
+        let rates = stage_rates(&standard_partitions(), 25.0, LineRate::Oc3);
+        let sw = rates.iter().find(|r| r.partition == "all-software").unwrap();
+        assert!(!sw.rx_keeps_up, "202 instr/cell at 25 MIPS > 2.83 µs OC-3 slot");
+    }
+
+    #[test]
+    fn enough_mips_rescues_all_software_at_oc3() {
+        // 202 instr per rx cell / 2.83 µs needs ≈ 71.4 MIPS.
+        let rates = stage_rates(&standard_partitions(), 100.0, LineRate::Oc3);
+        let sw = rates.iter().find(|r| r.partition == "all-software").unwrap();
+        assert!(sw.rx_keeps_up && sw.tx_keeps_up);
+    }
+}

@@ -1,0 +1,122 @@
+//! CRC-10: g(x) = x¹⁰ + x⁹ + x⁵ + x⁴ + x + 1, no init, no final XOR.
+//!
+//! Used twice in the ATM stack, which is why it lives at this layer:
+//! the AAL3/4 SAR-PDU trailer (`hni-aal` re-exports these functions) and
+//! the OAM cell trailer ([`crate::oam`]). Both place the 10 CRC bits
+//! immediately after the protected bits, so a received PDU checks to
+//! zero; generation needs bit granularity because the protected region
+//! is not byte-aligned (it ends 10 bits before a byte boundary).
+//!
+//! A bit-by-bit reference implementation is kept alongside the
+//! table-driven one and cross-checked in tests.
+
+/// CRC-10 polynomial, low 10 bits (x¹⁰ implicit).
+pub const POLY10: u16 = 0x233;
+
+/// Bit-by-bit CRC-10 reference.
+pub fn crc10_reference(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &byte in data {
+        for i in (0..8).rev() {
+            let bit = (byte >> i) & 1;
+            let top = ((crc >> 9) & 1) as u8;
+            crc = (crc << 1) & 0x3FF;
+            if top ^ bit != 0 {
+                crc ^= POLY10;
+            }
+        }
+    }
+    crc
+}
+
+const CRC10_TABLE: [u16; 256] = {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 2;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 0x200 != 0 {
+                ((crc << 1) ^ POLY10) & 0x3FF
+            } else {
+                (crc << 1) & 0x3FF
+            };
+            b += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Table-driven CRC-10.
+pub fn crc10(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &byte in data {
+        let idx = (((crc >> 2) as u8) ^ byte) as usize;
+        crc = ((crc << 8) & 0x3FF) ^ CRC10_TABLE[idx];
+    }
+    crc
+}
+
+/// CRC-10 over the first `nbits` bits of `data` (MSB-first) — the
+/// bit-granular form generation needs.
+pub fn crc10_bits(data: &[u8], nbits: usize) -> u16 {
+    debug_assert!(nbits <= data.len() * 8);
+    let full_bytes = nbits / 8;
+    let mut crc = crc10(&data[..full_bytes]);
+    for i in 0..(nbits % 8) {
+        let bit = (data[full_bytes] >> (7 - i)) & 1;
+        let top = ((crc >> 9) & 1) as u8;
+        crc = (crc << 1) & 0x3FF;
+        if top ^ bit != 0 {
+            crc ^= POLY10;
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_matches_reference() {
+        for seed in 0..40u64 {
+            let data = pseudo_bytes(seed, (seed as usize % 96) + 1);
+            assert_eq!(crc10(&data), crc10_reference(&data));
+        }
+    }
+
+    #[test]
+    fn bits_form_byte_aligned_matches() {
+        let data = pseudo_bytes(9, 48);
+        assert_eq!(crc10_bits(&data, 48 * 8), crc10(&data));
+    }
+
+    #[test]
+    fn codeword_checks_to_zero() {
+        // message ∥ CRC (bit-adjacent) is a codeword.
+        let msg = pseudo_bytes(3, 46);
+        let mut whole = msg.clone();
+        whole.push(0);
+        whole.push(0);
+        let c = crc10_bits(&whole, 46 * 8 + 6);
+        let n = whole.len();
+        whole[n - 2] |= (c >> 8) as u8;
+        whole[n - 1] = c as u8;
+        assert_eq!(crc10(&whole), 0);
+    }
+}

@@ -1,0 +1,437 @@
+//! Cell delineation: finding cell boundaries in an undifferentiated bit
+//! stream, using the HEC as the framing code (ITU-T I.432 §4.5).
+//!
+//! The receiver runs a three-state machine:
+//!
+//! ```text
+//!            bit-by-bit                 cell-by-cell
+//!   HUNT ────────────────► PRESYNC ────────────────► SYNC
+//!     ▲   correct HEC         │   DELTA consecutive    │
+//!     │                       │   correct HECs         │
+//!     └───────────────────────┘                        │
+//!     ▲        one incorrect HEC                       │
+//!     └────────────────────────────────────────────────┘
+//!               ALPHA consecutive incorrect HECs
+//! ```
+//!
+//! * **HUNT**: the last 40 bits are checked for a valid HEC after every
+//!   bit. On a hit, the machine assumes that window was a header and moves
+//!   to PRESYNC aligned to it.
+//! * **PRESYNC**: alignment is checked cell-by-cell (every 424 bits). One
+//!   bad HEC sends the machine back to HUNT; [`DELTA`] consecutive good
+//!   ones confirm the alignment → SYNC. Cells seen during PRESYNC are not
+//!   delivered.
+//! * **SYNC**: cells are delivered. Headers go through the
+//!   [`HecReceiver`] correction/detection machine; a run of [`ALPHA`]
+//!   consecutive uncorrectable headers declares loss of delineation
+//!   (back to HUNT).
+//!
+//! With random data the probability of a false HUNT hit is 2⁻⁸ per bit
+//! position, but DELTA consecutive confirmations make a false SYNC
+//! vanishingly unlikely (≈ 2⁻⁴⁸); the payload scrambler exists precisely
+//! to make user data look random to this process.
+
+use crate::cell::{Cell, CELL_SIZE};
+use crate::hec::{self, HecReceiver, HecVerdict};
+
+/// Consecutive bad HECs in SYNC before declaring loss of delineation.
+pub const ALPHA: u32 = 7;
+/// Consecutive good HECs in PRESYNC before declaring delineation.
+pub const DELTA: u32 = 6;
+
+const CELL_BITS: u32 = (CELL_SIZE * 8) as u32; // 424
+
+/// Delineation state, exposed for instrumentation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncState {
+    /// Searching bit-by-bit for a header.
+    Hunt,
+    /// Candidate alignment found; confirming. `good` headers seen so far.
+    Presync { good: u32 },
+    /// Delineated. `bad` is the current run of consecutive bad headers.
+    Sync { bad: u32 },
+}
+
+/// The cell delineation engine. Feed it the raw bit stream (as bytes, in
+/// transmission order); it emits delineated, HEC-accepted cells.
+#[derive(Clone, Debug)]
+pub struct Delineator {
+    state: SyncState,
+    /// Last 40 bits observed (HUNT window), most recent bit in bit 0.
+    window: u64,
+    /// Bits consumed since construction.
+    bits_consumed: u64,
+    /// Bit position where the current hunt began (for acquisition-time stats).
+    hunt_started_at: u64,
+    /// Candidate cell being accumulated in PRESYNC/SYNC.
+    cellbuf: [u8; CELL_SIZE],
+    /// Bits accumulated into `cellbuf`.
+    cellbuf_bits: u32,
+    /// The candidate in `cellbuf` is the cell whose header caused the
+    /// HUNT hit; its header re-check must not count as a PRESYNC
+    /// confirmation (I.432 counts DELTA *subsequent* headers).
+    first_candidate: bool,
+    /// Whether idle/unassigned cells are delivered to the caller (the
+    /// SONET TC layer needs them to keep its payload descrambler state
+    /// aligned; most callers don't).
+    emit_idle: bool,
+    hec_rx: HecReceiver,
+    // statistics
+    acquisitions: u64,
+    losses: u64,
+    last_acquisition_bits: u64,
+    delivered: u64,
+    discarded_in_sync: u64,
+}
+
+impl Default for Delineator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Delineator {
+    /// A delineator in HUNT state.
+    pub fn new() -> Self {
+        Delineator {
+            state: SyncState::Hunt,
+            window: 0,
+            bits_consumed: 0,
+            hunt_started_at: 0,
+            cellbuf: [0; CELL_SIZE],
+            cellbuf_bits: 0,
+            first_candidate: false,
+            emit_idle: false,
+            hec_rx: HecReceiver::new(),
+            acquisitions: 0,
+            losses: 0,
+            last_acquisition_bits: 0,
+            delivered: 0,
+            discarded_in_sync: 0,
+        }
+    }
+
+    /// Builder: also deliver idle/unassigned cells (default: suppressed).
+    pub fn with_idle_cells(mut self) -> Self {
+        self.emit_idle = true;
+        self
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SyncState {
+        self.state
+    }
+    /// Whether delineation is currently established.
+    pub fn is_synced(&self) -> bool {
+        matches!(self.state, SyncState::Sync { .. })
+    }
+    /// Times SYNC has been (re-)acquired.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+    /// Times SYNC has been lost after having been acquired.
+    pub fn losses(&self) -> u64 {
+        self.losses
+    }
+    /// Bits consumed from hunt start to the most recent acquisition —
+    /// the delineation acquisition time, in bit times.
+    pub fn last_acquisition_bits(&self) -> u64 {
+        self.last_acquisition_bits
+    }
+    /// Cells delivered while in SYNC.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+    /// Cells discarded in SYNC due to uncorrectable headers.
+    pub fn discarded_in_sync(&self) -> u64 {
+        self.discarded_in_sync
+    }
+    /// Total bits consumed.
+    pub fn bits_consumed(&self) -> u64 {
+        self.bits_consumed
+    }
+    /// Access to the embedded HEC receiver's counters.
+    pub fn hec_receiver(&self) -> &HecReceiver {
+        &self.hec_rx
+    }
+
+    /// Feed one byte (8 bits, MSB first); delineated cells are appended
+    /// to `out`.
+    pub fn push_byte(&mut self, byte: u8, out: &mut Vec<Cell>) {
+        for i in (0..8).rev() {
+            self.push_bit((byte >> i) & 1, out);
+        }
+    }
+
+    /// Feed a buffer of bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<Cell>) {
+        for &b in bytes {
+            self.push_byte(b, out);
+        }
+    }
+
+    fn window_header(&self) -> [u8; 5] {
+        let w = self.window;
+        [
+            (w >> 32) as u8,
+            (w >> 24) as u8,
+            (w >> 16) as u8,
+            (w >> 8) as u8,
+            w as u8,
+        ]
+    }
+
+    fn push_bit(&mut self, bit: u8, out: &mut Vec<Cell>) {
+        self.bits_consumed += 1;
+        self.window = ((self.window << 1) | bit as u64) & ((1u64 << 40) - 1);
+
+        match self.state {
+            SyncState::Hunt => {
+                if self.bits_consumed - self.hunt_started_at >= 40 {
+                    let hdr = self.window_header();
+                    if hec::syndrome(&hdr) == 0 {
+                        // Assume this window is a header; the rest of the
+                        // candidate cell follows.
+                        self.cellbuf = [0; CELL_SIZE];
+                        self.cellbuf[..5].copy_from_slice(&hdr);
+                        self.cellbuf_bits = 40;
+                        self.first_candidate = true;
+                        self.state = SyncState::Presync { good: 0 };
+                    }
+                }
+            }
+            SyncState::Presync { .. } | SyncState::Sync { .. } => {
+                // Accumulate the bit into the candidate cell.
+                let idx = (self.cellbuf_bits / 8) as usize;
+                self.cellbuf[idx] = (self.cellbuf[idx] << 1) | bit;
+                self.cellbuf_bits += 1;
+                if self.cellbuf_bits == CELL_BITS {
+                    self.complete_cell(out);
+                }
+            }
+        }
+    }
+
+    /// A full 424-bit candidate cell has been accumulated; judge it.
+    fn complete_cell(&mut self, out: &mut Vec<Cell>) {
+        let mut header = [0u8; 5];
+        header.copy_from_slice(&self.cellbuf[..5]);
+        match self.state {
+            SyncState::Presync { good } => {
+                if self.first_candidate {
+                    // The hit cell itself: header already known good.
+                    self.first_candidate = false;
+                    self.cellbuf_bits = 0;
+                    return;
+                }
+                if hec::syndrome(&header) == 0 {
+                    let good = good + 1;
+                    if good >= DELTA {
+                        self.state = SyncState::Sync { bad: 0 };
+                        self.acquisitions += 1;
+                        self.last_acquisition_bits = self.bits_consumed - self.hunt_started_at;
+                    } else {
+                        self.state = SyncState::Presync { good };
+                    }
+                } else {
+                    self.enter_hunt(false);
+                }
+            }
+            SyncState::Sync { bad } => {
+                match self.hec_rx.receive(&mut header) {
+                    HecVerdict::Accept | HecVerdict::AcceptCorrected => {
+                        self.cellbuf[..5].copy_from_slice(&header);
+                        let cell = Cell::from_bytes(self.cellbuf);
+                        // Idle/unassigned cells are a TC-layer artefact;
+                        // they confirmed delineation but carry no data —
+                        // unless the caller asked for them (see
+                        // `with_idle_cells`).
+                        if self.emit_idle || (!cell.is_idle() && !cell.is_unassigned()) {
+                            self.delivered += 1;
+                            out.push(cell);
+                        }
+                        self.state = SyncState::Sync { bad: 0 };
+                    }
+                    HecVerdict::Discard => {
+                        self.discarded_in_sync += 1;
+                        let bad = bad + 1;
+                        if bad >= ALPHA {
+                            self.enter_hunt(true);
+                        } else {
+                            self.state = SyncState::Sync { bad };
+                        }
+                    }
+                }
+            }
+            SyncState::Hunt => unreachable!("complete_cell only runs when aligned"),
+        }
+        self.cellbuf_bits = 0;
+    }
+
+    fn enter_hunt(&mut self, was_synced: bool) {
+        if was_synced {
+            self.losses += 1;
+        }
+        self.state = SyncState::Hunt;
+        self.hunt_started_at = self.bits_consumed;
+        self.cellbuf_bits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{HeaderRepr, PAYLOAD_SIZE};
+    use crate::vc::VcId;
+
+    fn data_cell(vci: u16, fill: u8) -> Cell {
+        let payload = [fill; PAYLOAD_SIZE];
+        Cell::new(&HeaderRepr::data(VcId::new(0, vci), false), &payload).unwrap()
+    }
+
+    /// Serialize cells to a byte stream.
+    fn stream(cells: &[Cell]) -> Vec<u8> {
+        cells.iter().flat_map(|c| c.as_bytes().iter().copied()).collect()
+    }
+
+    #[test]
+    fn acquires_sync_on_aligned_stream() {
+        let cells: Vec<Cell> = (0..10).map(|i| data_cell(32 + i, i as u8)).collect();
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&stream(&cells), &mut out);
+        assert!(d.is_synced());
+        assert_eq!(d.acquisitions(), 1);
+        // Cell 0 consumed by HUNT hit; cells 1..=6 consumed by PRESYNC
+        // (DELTA=6); cells 7..9 delivered.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].header().unwrap().vci, 32 + 7);
+    }
+
+    #[test]
+    fn acquires_from_arbitrary_byte_offset() {
+        let cells: Vec<Cell> = (0..12).map(|i| data_cell(100 + i, i as u8)).collect();
+        let mut bytes = stream(&cells);
+        // Prepend garbage that is NOT a valid header prefix.
+        let mut prefixed = vec![0x13u8, 0x57, 0x9B];
+        prefixed.append(&mut bytes);
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&prefixed, &mut out);
+        assert!(d.is_synced());
+        assert!(!out.is_empty());
+        // Delivered cells must be intact original cells.
+        for c in &out {
+            let h = c.header().unwrap();
+            assert!(h.vci >= 100 && h.vci < 112);
+            let fill = (h.vci - 100) as u8;
+            assert!(c.payload().iter().all(|&b| b == fill));
+        }
+    }
+
+    #[test]
+    fn acquires_from_arbitrary_bit_offset() {
+        // Shift the whole stream by 3 bits.
+        let cells: Vec<Cell> = (0..12).map(|i| data_cell(200 + i, 0xEE)).collect();
+        let bytes = stream(&cells);
+        let shift = 3;
+        let mut shifted = Vec::with_capacity(bytes.len() + 1);
+        let mut carry = 0u16;
+        let mut nbits = shift;
+        for &b in &bytes {
+            carry = (carry << 8) | b as u16;
+            nbits += 8;
+            while nbits >= 8 {
+                shifted.push((carry >> (nbits - 8)) as u8);
+                nbits -= 8;
+                carry &= (1 << nbits) - 1;
+            }
+        }
+        // shifted stream starts with `shift` zero bits then the cells.
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&shifted, &mut out);
+        assert!(d.is_synced(), "must sync at a non-byte-aligned offset");
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|c| c.payload().iter().all(|&b| b == 0xEE)));
+    }
+
+    #[test]
+    fn idle_cells_maintain_sync_but_are_not_delivered() {
+        let mut cells = vec![Cell::idle(); 8];
+        cells.push(data_cell(50, 1));
+        cells.push(Cell::idle());
+        cells.push(data_cell(51, 2));
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&stream(&cells), &mut out);
+        assert!(d.is_synced());
+        let vcis: Vec<u16> = out.iter().map(|c| c.header().unwrap().vci).collect();
+        assert_eq!(vcis, vec![50, 51]);
+    }
+
+    #[test]
+    fn loses_sync_after_alpha_bad_headers() {
+        let good: Vec<Cell> = (0..10).map(|i| data_cell(60 + i, 0)).collect();
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&stream(&good), &mut out);
+        assert!(d.is_synced());
+
+        // Feed ALPHA cells with garbage headers. HecReceiver is already in
+        // correction mode; garbage headers are (overwhelmingly) uncorrectable.
+        let mut bad_cell = data_cell(61, 0);
+        bad_cell.as_bytes_mut()[0] ^= 0xFF;
+        bad_cell.as_bytes_mut()[2] ^= 0xFF; // multi-bit damage
+        let bad = vec![bad_cell; ALPHA as usize];
+        d.push_bytes(&stream(&bad), &mut out);
+        assert!(!d.is_synced(), "ALPHA bad headers must drop delineation");
+        assert_eq!(d.losses(), 1);
+    }
+
+    #[test]
+    fn single_bad_header_does_not_lose_sync() {
+        let good: Vec<Cell> = (0..10).map(|i| data_cell(60 + i, 0)).collect();
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&stream(&good), &mut out);
+        let delivered_before = d.delivered();
+
+        let mut bad_cell = data_cell(61, 0);
+        bad_cell.as_bytes_mut()[0] ^= 0xFF;
+        bad_cell.as_bytes_mut()[2] ^= 0xFF;
+        d.push_bytes(bad_cell.as_bytes(), &mut out);
+        assert!(d.is_synced());
+
+        d.push_bytes(data_cell(62, 3).as_bytes(), &mut out);
+        assert!(d.is_synced());
+        assert_eq!(d.delivered(), delivered_before + 1);
+    }
+
+    #[test]
+    fn reacquires_after_loss() {
+        let good: Vec<Cell> = (0..10).map(|i| data_cell(70 + i, 0)).collect();
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&stream(&good), &mut out);
+        // Drop sync with garbage (odd length to also shift alignment).
+        let garbage: Vec<u8> = (0..53 * ALPHA as usize + 7).map(|i| (i as u8).wrapping_mul(97).wrapping_add(13)).collect();
+        d.push_bytes(&garbage, &mut out);
+        // Feed a clean stream again.
+        let more: Vec<Cell> = (0..10).map(|i| data_cell(80 + i, 1)).collect();
+        d.push_bytes(&stream(&more), &mut out);
+        assert!(d.is_synced(), "must reacquire after garbage");
+        assert!(d.acquisitions() >= 2);
+    }
+
+    #[test]
+    fn acquisition_time_counted_in_bits() {
+        let cells: Vec<Cell> = (0..10).map(|i| data_cell(90 + i, 0)).collect();
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&stream(&cells), &mut out);
+        // Acquisition: 40 bits (first header) + 384 (rest of cell 0)
+        // + 6×424 (PRESYNC cells) = 2968 bits.
+        assert_eq!(d.last_acquisition_bits(), 40 + 384 + 6 * 424);
+    }
+}

@@ -1,0 +1,391 @@
+//! Header Error Control: CRC-8 over the first four header octets.
+//!
+//! ITU-T I.432 specifies the HEC as the remainder of the 32 header bits
+//! multiplied by x⁸, divided by g(x) = x⁸ + x² + x + 1, XORed with the
+//! fixed coset pattern `01010101` (0x55). The coset makes long runs of
+//! zeros in the header produce a non-zero HEC, which the cell-delineation
+//! process depends on.
+//!
+//! Because the code's minimum distance over the 40-bit codeword is 4, a
+//! receiver can **correct any single-bit error** and **detect all double-
+//! bit errors**. The receiver operates a two-mode state machine
+//! (I.432 §4.3.2): in *correction mode* a single-bit error is corrected
+//! (and the receiver drops to *detection mode*); in detection mode any
+//! errored cell is discarded; an error-free cell returns the receiver to
+//! correction mode. This protects against bursts: only the first error of
+//! a burst is ever "corrected", the rest are discarded.
+//!
+//! Tables are built at compile time with `const fn`, so there is no lazy
+//! initialisation on the hot path.
+
+/// Number of bits covered by the HEC code (4 header octets + HEC octet).
+pub const CODEWORD_BITS: u32 = 40;
+
+/// The CRC-8 generator polynomial x⁸ + x² + x + 1 (low 8 bits).
+pub const POLY: u8 = 0x07;
+
+/// The coset pattern added to the CRC per I.432.
+pub const COSET: u8 = 0x55;
+
+/// Bitwise CRC-8 of one byte folded into `crc` (MSB first).
+const fn crc8_byte(mut crc: u8, byte: u8) -> u8 {
+    crc ^= byte;
+    let mut i = 0;
+    while i < 8 {
+        crc = if crc & 0x80 != 0 {
+            (crc << 1) ^ POLY
+        } else {
+            crc << 1
+        };
+        i += 1;
+    }
+    crc
+}
+
+/// 256-entry CRC-8 table, built at compile time.
+const CRC8_TABLE: [u8; 256] = {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = crc8_byte(0, i as u8);
+        i += 1;
+    }
+    table
+};
+
+/// Compute the HEC value for the first four header octets.
+#[inline]
+pub fn compute(header4: &[u8; 4]) -> u8 {
+    let mut crc = 0u8;
+    let mut i = 0;
+    while i < 4 {
+        crc = CRC8_TABLE[(crc ^ header4[i]) as usize];
+        i += 1;
+    }
+    crc ^ COSET
+}
+
+/// The 8-bit syndrome of a received 5-octet header.
+///
+/// Zero iff the codeword is error-free. By linearity of the CRC the
+/// syndrome of a corrupted header equals the syndrome of the error
+/// pattern alone, which is what makes single-bit correction a table
+/// lookup.
+#[inline]
+pub fn syndrome(header5: &[u8; 5]) -> u8 {
+    let mut crc = 0u8;
+    let mut i = 0;
+    while i < 4 {
+        crc = CRC8_TABLE[(crc ^ header5[i]) as usize];
+        i += 1;
+    }
+    crc ^ COSET ^ header5[4]
+}
+
+/// Map from syndrome to the single flipped bit position (0..40, MSB of
+/// octet 0 = bit 0), or 0xFF if the syndrome does not correspond to any
+/// single-bit error. Built at compile time by flipping each bit of a
+/// zero codeword and computing its syndrome — correct by linearity.
+const SYNDROME_TO_BIT: [u8; 256] = {
+    let mut map = [0xFFu8; 256];
+    let mut bit = 0;
+    while bit < 40 {
+        // Build the error pattern e with only `bit` set.
+        let mut e = [0u8; 5];
+        e[bit / 8] = 0x80 >> (bit % 8);
+        // Syndrome of pattern alone: CRC-8 of first 4 bytes XOR byte 5.
+        // (Coset cancels: syndrome() applies it once to data and the
+        // transmitter applied it once, so for the *error pattern* we must
+        // not apply the coset — compute raw.)
+        let mut crc = 0u8;
+        let mut i = 0;
+        while i < 4 {
+            crc = crc8_byte(crc, e[i]);
+            i += 1;
+        }
+        let s = crc ^ e[4];
+        map[s as usize] = bit as u8;
+        bit += 1;
+    }
+    map
+};
+
+/// Outcome of checking one header against its HEC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HecResult {
+    /// Header is error-free.
+    Valid,
+    /// Exactly one bit appears flipped; `bit` is its position (0..40) and
+    /// the caller may correct it by re-inverting.
+    SingleBit { bit: u8 },
+    /// More than one bit is in error; the header is unusable.
+    Uncorrectable,
+}
+
+/// Classify a received 5-octet header.
+#[inline]
+pub fn check(header5: &[u8; 5]) -> HecResult {
+    let s = syndrome(header5);
+    if s == 0 {
+        return HecResult::Valid;
+    }
+    match SYNDROME_TO_BIT[s as usize] {
+        0xFF => HecResult::Uncorrectable,
+        bit => HecResult::SingleBit { bit },
+    }
+}
+
+/// Flip bit `bit` (0..40) of a 5-octet header in place.
+#[inline]
+pub fn flip_bit(header5: &mut [u8; 5], bit: u8) {
+    debug_assert!(bit < 40);
+    header5[(bit / 8) as usize] ^= 0x80 >> (bit % 8);
+}
+
+/// Receiver operating mode per I.432 §4.3.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HecRxMode {
+    /// Single-bit errors are corrected; detecting any error switches the
+    /// receiver to detection mode.
+    #[default]
+    Correction,
+    /// All errored cells are discarded; an error-free cell returns the
+    /// receiver to correction mode.
+    Detection,
+}
+
+/// What the HEC receiver decided about one cell header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HecVerdict {
+    /// Accept the cell; header unmodified.
+    Accept,
+    /// Accept the cell after the receiver corrected a single-bit error
+    /// (the header passed in was modified in place).
+    AcceptCorrected,
+    /// Discard the cell.
+    Discard,
+}
+
+/// Stateful HEC receiver implementing the correction/detection mode
+/// state machine, with counters for the experiment harness.
+#[derive(Clone, Debug, Default)]
+pub struct HecReceiver {
+    mode: HecRxMode,
+    accepted: u64,
+    corrected: u64,
+    discarded: u64,
+}
+
+impl HecReceiver {
+    /// New receiver in correction mode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> HecRxMode {
+        self.mode
+    }
+    /// Cells accepted without modification.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+    /// Cells accepted after single-bit correction.
+    pub fn corrected(&self) -> u64 {
+        self.corrected
+    }
+    /// Cells discarded.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Run one header through the receiver. May modify `header5`
+    /// (single-bit correction). Returns the verdict and updates mode.
+    pub fn receive(&mut self, header5: &mut [u8; 5]) -> HecVerdict {
+        let outcome = check(header5);
+        match (self.mode, outcome) {
+            (_, HecResult::Valid) => {
+                self.mode = HecRxMode::Correction;
+                self.accepted += 1;
+                HecVerdict::Accept
+            }
+            (HecRxMode::Correction, HecResult::SingleBit { bit }) => {
+                flip_bit(header5, bit);
+                self.mode = HecRxMode::Detection;
+                self.corrected += 1;
+                HecVerdict::AcceptCorrected
+            }
+            (HecRxMode::Correction, HecResult::Uncorrectable)
+            | (HecRxMode::Detection, HecResult::SingleBit { .. })
+            | (HecRxMode::Detection, HecResult::Uncorrectable) => {
+                self.mode = HecRxMode::Detection;
+                self.discarded += 1;
+                HecVerdict::Discard
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_cell_hec_is_0x52() {
+        // The canonical test vector: the idle-cell header 00 00 00 01 has
+        // HEC 0x52 (widely published in I.432 implementations).
+        assert_eq!(compute(&[0x00, 0x00, 0x00, 0x01]), 0x52);
+    }
+
+    #[test]
+    fn all_zero_header_hec_is_coset() {
+        // CRC of zeros is zero, so the HEC is exactly the coset.
+        assert_eq!(compute(&[0, 0, 0, 0]), COSET);
+    }
+
+    #[test]
+    fn valid_header_has_zero_syndrome() {
+        let h4 = [0x12, 0x34, 0x56, 0x78];
+        let mut h5 = [0u8; 5];
+        h5[..4].copy_from_slice(&h4);
+        h5[4] = compute(&h4);
+        assert_eq!(syndrome(&h5), 0);
+        assert_eq!(check(&h5), HecResult::Valid);
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected_exhaustive() {
+        // Exhaustive over all 40 bit positions for several headers.
+        for &h4 in &[
+            [0u8, 0, 0, 0],
+            [0x12, 0x34, 0x56, 0x78],
+            [0xFF, 0xFF, 0xFF, 0xFF],
+            [0xA5, 0x5A, 0xC3, 0x3C],
+        ] {
+            let mut good = [0u8; 5];
+            good[..4].copy_from_slice(&h4);
+            good[4] = compute(&h4);
+            for bit in 0..40u8 {
+                let mut bad = good;
+                flip_bit(&mut bad, bit);
+                match check(&bad) {
+                    HecResult::SingleBit { bit: b } => assert_eq!(b, bit),
+                    other => panic!("bit {bit}: expected SingleBit, got {other:?}"),
+                }
+                // And correcting restores the original.
+                let mut fixed = bad;
+                flip_bit(&mut fixed, bit);
+                assert_eq!(fixed, good);
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected_exhaustive() {
+        // d_min = 4, so no 2-bit error may alias to Valid or to a
+        // *wrong* single-bit correction that silently corrupts. A 2-bit
+        // error may legitimately map to SingleBit (miscorrection is
+        // allowed by the code only if distance says so) — for this code,
+        // distance 4 means a weight-2 error is at distance 2 from the
+        // sent word and ≥2 from every other codeword, so it can never
+        // produce syndrome 0, but it CAN look like a single-bit error of
+        // a different codeword only if some weight-3 pattern is a
+        // codeword, which distance 4 forbids. Hence: never Valid, never
+        // SingleBit.
+        let h4 = [0x13, 0x57, 0x9B, 0xDF];
+        let mut good = [0u8; 5];
+        good[..4].copy_from_slice(&h4);
+        good[4] = compute(&h4);
+        for b1 in 0..40u8 {
+            for b2 in (b1 + 1)..40u8 {
+                let mut bad = good;
+                flip_bit(&mut bad, b1);
+                flip_bit(&mut bad, b2);
+                assert_eq!(
+                    check(&bad),
+                    HecResult::Uncorrectable,
+                    "bits {b1},{b2} not detected as uncorrectable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn receiver_mode_machine() {
+        let h4 = [0x01, 0x02, 0x03, 0x04];
+        let mut good = [0u8; 5];
+        good[..4].copy_from_slice(&h4);
+        good[4] = compute(&h4);
+
+        let mut rx = HecReceiver::new();
+        assert_eq!(rx.mode(), HecRxMode::Correction);
+
+        // Clean cell: accepted, stays in correction.
+        let mut h = good;
+        assert_eq!(rx.receive(&mut h), HecVerdict::Accept);
+        assert_eq!(rx.mode(), HecRxMode::Correction);
+
+        // Single-bit error: corrected, drops to detection.
+        let mut h = good;
+        flip_bit(&mut h, 13);
+        assert_eq!(rx.receive(&mut h), HecVerdict::AcceptCorrected);
+        assert_eq!(h, good, "correction must restore the header");
+        assert_eq!(rx.mode(), HecRxMode::Detection);
+
+        // Second single-bit error while in detection: discarded.
+        let mut h = good;
+        flip_bit(&mut h, 2);
+        assert_eq!(rx.receive(&mut h), HecVerdict::Discard);
+        assert_eq!(rx.mode(), HecRxMode::Detection);
+
+        // Clean cell returns to correction mode.
+        let mut h = good;
+        assert_eq!(rx.receive(&mut h), HecVerdict::Accept);
+        assert_eq!(rx.mode(), HecRxMode::Correction);
+
+        assert_eq!(rx.accepted(), 2);
+        assert_eq!(rx.corrected(), 1);
+        assert_eq!(rx.discarded(), 1);
+    }
+
+    #[test]
+    fn multi_bit_error_in_correction_mode_discards() {
+        let mut rx = HecReceiver::new();
+        let h4 = [9, 9, 9, 9];
+        let mut h = [0u8; 5];
+        h[..4].copy_from_slice(&h4);
+        h[4] = compute(&h4);
+        flip_bit(&mut h, 0);
+        flip_bit(&mut h, 1);
+        flip_bit(&mut h, 2); // weight-3 error: overwhelmingly detected
+        let v = rx.receive(&mut h);
+        // A weight-3 pattern may alias to a single-bit syndrome of
+        // another codeword (distance 4 allows it); both Discard and
+        // AcceptCorrected are legal receiver behaviours. What must hold:
+        // the receiver left correction mode.
+        assert_ne!(v, HecVerdict::Accept);
+        assert_eq!(rx.mode(), HecRxMode::Detection);
+    }
+
+    #[test]
+    fn table_matches_bitwise() {
+        // CRC8_TABLE is definitionally crc8_byte; spot-check composition
+        // over multi-byte inputs against a pure bitwise fold.
+        fn bitwise(bytes: &[u8]) -> u8 {
+            let mut crc = 0u8;
+            for &b in bytes {
+                crc = crc8_byte(crc, b);
+            }
+            crc
+        }
+        for seed in 0u32..256 {
+            let h4 = [
+                seed as u8,
+                seed.wrapping_mul(31) as u8,
+                seed.wrapping_mul(131) as u8,
+                seed.wrapping_mul(251) as u8,
+            ];
+            assert_eq!(compute(&h4), bitwise(&h4) ^ COSET);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # hni-atm — the ATM cell layer
+//!
+//! Everything below the adaptation layer and above the SONET path:
+//!
+//! * [`cell`] — the 53-byte cell: typed wrapper over the wire bytes plus an
+//!   owned [`cell::HeaderRepr`], in the smoltcp wrapper/repr idiom.
+//! * [`hec`] — the Header Error Control byte: CRC-8 (x⁸+x²+x+1) with the
+//!   0x55 coset, single-bit **correction**, multi-bit detection, and the
+//!   ITU-T I.432 correction↔detection receiver mode state machine.
+//! * [`delineation`] — HUNT / PRESYNC / SYNC cell delineation on an
+//!   arbitrary (bit-aligned) byte stream, ALPHA = 7, DELTA = 6.
+//! * [`scrambler`] — the x⁴³+1 self-synchronising payload scrambler.
+//! * [`gcra`] — the Generic Cell Rate Algorithm (virtual scheduling form),
+//!   used both to police and to *shape* (pace) per-VC cell streams.
+//! * [`oam`] — I.610 OAM F5 cells: loopback (the PVC connectivity
+//!   check), AIS/RDI, continuity check; CRC-10 protected.
+//! * [`crc10`] — the CRC-10 shared by OAM trailers and (via re-export)
+//!   the AAL3/4 SAR trailer.
+//! * [`vc`] — virtual path/channel identifiers.
+//!
+//! ## Scope
+//!
+//! This crate is pure protocol logic: no I/O, no clocks of its own (time
+//! comes in as [`hni_sim::Time`] where needed). Signalling (Q.2931), OAM
+//! flows beyond loopback/AIS/RDI/CC codecs, and VP switching are out of
+//! scope — the host-interface architecture under study sits on
+//! provisioned PVCs, as the Aurora testbed did.
+
+pub mod cell;
+pub mod crc10;
+pub mod delineation;
+pub mod gcra;
+pub mod hec;
+pub mod oam;
+pub mod scrambler;
+pub mod vc;
+
+pub use cell::{Cell, HeaderError, HeaderFormat, HeaderRepr, Pti, CELL_SIZE, HEADER_SIZE, PAYLOAD_SIZE};
+pub use delineation::{Delineator, SyncState, ALPHA, DELTA};
+pub use gcra::Gcra;
+pub use hec::{HecReceiver, HecResult, HecRxMode};
+pub use oam::{OamCell, OamError, OamFunction, OamScope, OamType};
+pub use scrambler::{Descrambler, Scrambler};
+pub use vc::VcId;

@@ -1,0 +1,285 @@
+//! OAM cells (ITU-T I.610): in-band operations and maintenance.
+//!
+//! On a permanent virtual connection there is no signalling channel to
+//! ask "is this circuit alive?" — the question travels *inside* the
+//! connection as OAM cells, distinguished by PTI codepoints (F5 flows:
+//! segment = PTI 100, end-to-end = PTI 101). The 48-octet payload:
+//!
+//! ```text
+//! ┌──────────┬──────────────┬──────────────────────┬──────┬────────┐
+//! │ OAM type │ function     │ function-specific    │ rsvd │ CRC-10 │
+//! │   4b     │    4b        │     45 octets        │  6b  │  10b   │
+//! └──────────┴──────────────┴──────────────────────┴──────┴────────┘
+//! ```
+//!
+//! Implemented functions (fault management):
+//!
+//! * **Loopback** — the function the host interface actually uses: a
+//!   cell with "loopback indication = 1" and a correlation tag; whoever
+//!   loops it clears the indication and sends it back. Connectivity
+//!   verified end to end, no control plane required.
+//! * **AIS / RDI** — alarm indication & remote defect indication cells
+//!   (encode/decode; generation policy is the transmission plant's
+//!   concern and out of scope here).
+//! * **Continuity check** — heartbeat cells for idle connections.
+//!
+//! The CRC-10 trailer covers the preceding 374 bits, same convention as
+//! the AAL3/4 SAR trailer ([`crate::crc10`]).
+
+use crate::cell::{Cell, HeaderRepr, Pti, PAYLOAD_SIZE};
+use crate::crc10::{crc10, crc10_bits};
+use crate::vc::VcId;
+use core::fmt;
+
+/// OAM type field codepoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OamType {
+    /// Fault management (0001).
+    FaultManagement,
+    /// Performance management (0010).
+    PerformanceManagement,
+    /// Activation/deactivation (1000).
+    ActivationDeactivation,
+}
+
+impl OamType {
+    fn to_bits(self) -> u8 {
+        match self {
+            OamType::FaultManagement => 0b0001,
+            OamType::PerformanceManagement => 0b0010,
+            OamType::ActivationDeactivation => 0b1000,
+        }
+    }
+    fn from_bits(b: u8) -> Option<Self> {
+        match b {
+            0b0001 => Some(OamType::FaultManagement),
+            0b0010 => Some(OamType::PerformanceManagement),
+            0b1000 => Some(OamType::ActivationDeactivation),
+            _ => None,
+        }
+    }
+}
+
+/// Fault-management function codepoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OamFunction {
+    /// Alarm indication signal (0000).
+    Ais,
+    /// Remote defect indication (0001).
+    Rdi,
+    /// Continuity check (0100).
+    ContinuityCheck,
+    /// Loopback (1000).
+    Loopback,
+}
+
+impl OamFunction {
+    fn to_bits(self) -> u8 {
+        match self {
+            OamFunction::Ais => 0b0000,
+            OamFunction::Rdi => 0b0001,
+            OamFunction::ContinuityCheck => 0b0100,
+            OamFunction::Loopback => 0b1000,
+        }
+    }
+    fn from_bits(b: u8) -> Option<Self> {
+        match b {
+            0b0000 => Some(OamFunction::Ais),
+            0b0001 => Some(OamFunction::Rdi),
+            0b0100 => Some(OamFunction::ContinuityCheck),
+            0b1000 => Some(OamFunction::Loopback),
+            _ => None,
+        }
+    }
+}
+
+/// Which F5 flow an OAM cell belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OamScope {
+    /// Segment flow (PTI 100): processed by the next maintenance node.
+    Segment,
+    /// End-to-end flow (PTI 101): processed only by the far endpoint.
+    EndToEnd,
+}
+
+/// Why an OAM cell failed to parse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OamError {
+    /// The cell's PTI is not an OAM codepoint.
+    NotOam,
+    /// CRC-10 over the payload failed.
+    Crc,
+    /// Unknown type/function codepoint.
+    UnknownCodepoint,
+}
+
+impl fmt::Display for OamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OamError::NotOam => write!(f, "not an OAM cell"),
+            OamError::Crc => write!(f, "OAM payload CRC-10 mismatch"),
+            OamError::UnknownCodepoint => write!(f, "unknown OAM codepoint"),
+        }
+    }
+}
+
+/// A decoded OAM cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OamCell {
+    /// F5 flow scope.
+    pub scope: OamScope,
+    /// OAM type.
+    pub oam_type: OamType,
+    /// Function within the type.
+    pub function: OamFunction,
+    /// Loopback indication: `true` = please loop this back (only
+    /// meaningful for [`OamFunction::Loopback`]).
+    pub loopback_indication: bool,
+    /// Correlation tag (loopback) — matches replies to requests.
+    pub tag: u32,
+}
+
+impl OamCell {
+    /// A loopback request on the end-to-end flow.
+    pub fn loopback_request(tag: u32) -> Self {
+        OamCell {
+            scope: OamScope::EndToEnd,
+            oam_type: OamType::FaultManagement,
+            function: OamFunction::Loopback,
+            loopback_indication: true,
+            tag,
+        }
+    }
+
+    /// The reply to a loopback request (indication cleared, tag kept).
+    pub fn loopback_reply(&self) -> Self {
+        OamCell {
+            loopback_indication: false,
+            ..self.clone()
+        }
+    }
+
+    /// Encode into a cell on `vc`.
+    pub fn emit(&self, vc: VcId) -> Cell {
+        let mut payload = [0x6Au8; PAYLOAD_SIZE];
+        payload[0] = (self.oam_type.to_bits() << 4) | self.function.to_bits();
+        payload[1] = self.loopback_indication as u8;
+        payload[2..6].copy_from_slice(&self.tag.to_be_bytes());
+        payload[46] = 0;
+        payload[47] = 0;
+        let c = crc10_bits(&payload, 46 * 8 + 6);
+        payload[46] |= (c >> 8) as u8;
+        payload[47] = c as u8;
+        let pti = match self.scope {
+            OamScope::Segment => Pti::OamSegment,
+            OamScope::EndToEnd => Pti::OamEndToEnd,
+        };
+        let header = HeaderRepr {
+            pti,
+            ..HeaderRepr::data(vc, false)
+        };
+        Cell::new(&header, &payload).expect("user VC header encodable")
+    }
+
+    /// Decode a cell; the header must already be valid.
+    pub fn parse(cell: &Cell) -> Result<OamCell, OamError> {
+        let header = cell.header().map_err(|_| OamError::NotOam)?;
+        let scope = match header.pti {
+            Pti::OamSegment => OamScope::Segment,
+            Pti::OamEndToEnd => OamScope::EndToEnd,
+            _ => return Err(OamError::NotOam),
+        };
+        let payload = cell.payload();
+        if crc10(payload) != 0 {
+            return Err(OamError::Crc);
+        }
+        let oam_type = OamType::from_bits(payload[0] >> 4).ok_or(OamError::UnknownCodepoint)?;
+        let function =
+            OamFunction::from_bits(payload[0] & 0x0F).ok_or(OamError::UnknownCodepoint)?;
+        Ok(OamCell {
+            scope,
+            oam_type,
+            function,
+            loopback_indication: payload[1] & 1 != 0,
+            tag: u32::from_be_bytes([payload[2], payload[3], payload[4], payload[5]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc() -> VcId {
+        VcId::new(0, 111)
+    }
+
+    #[test]
+    fn loopback_roundtrip() {
+        let req = OamCell::loopback_request(0xCAFE_F00D);
+        let cell = req.emit(vc());
+        let parsed = OamCell::parse(&cell).unwrap();
+        assert_eq!(parsed, req);
+        assert!(parsed.loopback_indication);
+        assert_eq!(parsed.tag, 0xCAFE_F00D);
+    }
+
+    #[test]
+    fn reply_clears_indication_keeps_tag() {
+        let req = OamCell::loopback_request(42);
+        let rep = req.loopback_reply();
+        assert!(!rep.loopback_indication);
+        assert_eq!(rep.tag, 42);
+        let parsed = OamCell::parse(&rep.emit(vc())).unwrap();
+        assert_eq!(parsed, rep);
+    }
+
+    #[test]
+    fn all_codepoints_roundtrip() {
+        for (t, f) in [
+            (OamType::FaultManagement, OamFunction::Ais),
+            (OamType::FaultManagement, OamFunction::Rdi),
+            (OamType::FaultManagement, OamFunction::ContinuityCheck),
+            (OamType::PerformanceManagement, OamFunction::Loopback),
+            (OamType::ActivationDeactivation, OamFunction::Ais),
+        ] {
+            for scope in [OamScope::Segment, OamScope::EndToEnd] {
+                let oc = OamCell {
+                    scope,
+                    oam_type: t,
+                    function: f,
+                    loopback_indication: false,
+                    tag: 7,
+                };
+                assert_eq!(OamCell::parse(&oc.emit(vc())).unwrap(), oc);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_rejected() {
+        let mut cell = OamCell::loopback_request(1).emit(vc());
+        cell.payload_mut()[10] ^= 0x01;
+        assert_eq!(OamCell::parse(&cell), Err(OamError::Crc));
+    }
+
+    #[test]
+    fn data_cells_are_not_oam() {
+        let cell = Cell::new(&HeaderRepr::data(vc(), false), &[0u8; PAYLOAD_SIZE]).unwrap();
+        assert_eq!(OamCell::parse(&cell), Err(OamError::NotOam));
+    }
+
+    #[test]
+    fn unknown_codepoint_rejected() {
+        let mut oc = OamCell::loopback_request(1).emit(vc());
+        // Corrupt the type nibble and re-CRC so only the codepoint is bad.
+        let payload = oc.payload_mut();
+        payload[0] = 0xF8; // type 1111 invalid
+        payload[46] = 0;
+        payload[47] = 0;
+        let c = crc10_bits(payload, 46 * 8 + 6);
+        payload[46] |= (c >> 8) as u8;
+        payload[47] = c as u8;
+        assert_eq!(OamCell::parse(&oc), Err(OamError::UnknownCodepoint));
+    }
+}

@@ -1,0 +1,78 @@
+//! Virtual connection identifiers.
+
+use core::fmt;
+
+/// A virtual connection: the (VPI, VCI) pair that identifies a cell's
+/// connection on a link.
+///
+/// VCI values 0–31 are reserved by ITU-T for layer functions (idle cells,
+/// OAM, signalling, ILMI); user data connections use VCI ≥ 32 — see
+/// [`VcId::FIRST_USER_VCI`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VcId {
+    /// Virtual path identifier (8 bits at UNI, 12 at NNI).
+    pub vpi: u16,
+    /// Virtual channel identifier (16 bits).
+    pub vci: u16,
+}
+
+impl VcId {
+    /// The lowest VCI available to user connections.
+    pub const FIRST_USER_VCI: u16 = 32;
+
+    /// Reserved VC for point-to-point signalling (VCI 5).
+    pub const SIGNALLING: VcId = VcId { vpi: 0, vci: 5 };
+    /// Reserved VC for ILMI (VCI 16).
+    pub const ILMI: VcId = VcId { vpi: 0, vci: 16 };
+
+    /// Construct a VC identifier.
+    pub const fn new(vpi: u16, vci: u16) -> Self {
+        VcId { vpi, vci }
+    }
+
+    /// Whether this VC is in the user-data range.
+    pub fn is_user(&self) -> bool {
+        self.vci >= Self::FIRST_USER_VCI
+    }
+
+    /// The 24-bit concatenated VPI·VCI value used as a CAM search key in
+    /// the receive pipeline (UNI: 8-bit VPI + 16-bit VCI).
+    pub fn cam_key(&self) -> u32 {
+        ((self.vpi as u32) << 16) | self.vci as u32
+    }
+}
+
+impl fmt::Display for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.vpi, self.vci)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_range() {
+        assert!(!VcId::SIGNALLING.is_user());
+        assert!(!VcId::ILMI.is_user());
+        assert!(VcId::new(0, 32).is_user());
+        assert!(VcId::new(3, 1000).is_user());
+    }
+
+    #[test]
+    fn cam_key_packs() {
+        let vc = VcId::new(0xAB, 0xCDEF);
+        assert_eq!(vc.cam_key(), 0x00AB_CDEF);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VcId::new(1, 42).to_string(), "1/42");
+    }
+
+    #[test]
+    fn ordering_is_vpi_major() {
+        assert!(VcId::new(1, 0) > VcId::new(0, 65535));
+    }
+}

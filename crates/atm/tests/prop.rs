@@ -1,0 +1,182 @@
+//! Property-based tests for the ATM cell layer.
+
+use hni_atm::{
+    cell::{HeaderFormat, HeaderRepr, Pti},
+    hec, Cell, Delineator, Descrambler, Gcra, Scrambler, VcId, CELL_SIZE, PAYLOAD_SIZE,
+};
+use hni_sim::{Duration, Time};
+use proptest::prelude::*;
+
+fn arb_header() -> impl Strategy<Value = HeaderRepr> {
+    (
+        0u8..16,
+        0u16..256,
+        any::<u16>(),
+        0u8..8,
+        any::<bool>(),
+    )
+        .prop_map(|(gfc, vpi, vci, pti_bits, clp)| HeaderRepr {
+            format: HeaderFormat::Uni,
+            gfc,
+            vpi,
+            vci,
+            pti: Pti::from_bits(pti_bits),
+            clp,
+        })
+}
+
+proptest! {
+    /// Any in-range header emits and re-parses identically.
+    #[test]
+    fn header_roundtrip(h in arb_header()) {
+        let mut bytes = [0u8; 5];
+        h.emit(&mut bytes).unwrap();
+        let parsed = HeaderRepr::parse(&bytes, HeaderFormat::Uni).unwrap();
+        prop_assert_eq!(parsed, h);
+    }
+
+    /// NNI headers (12-bit VPI) also roundtrip.
+    #[test]
+    fn header_roundtrip_nni(vpi in 0u16..4096, vci in any::<u16>(), clp in any::<bool>()) {
+        let h = HeaderRepr {
+            format: HeaderFormat::Nni,
+            gfc: 0,
+            vpi,
+            vci,
+            pti: Pti::UserData { congestion: false, last: true },
+            clp,
+        };
+        let mut bytes = [0u8; 5];
+        h.emit(&mut bytes).unwrap();
+        prop_assert_eq!(HeaderRepr::parse(&bytes, HeaderFormat::Nni).unwrap(), h);
+    }
+
+    /// The HEC corrects every single-bit error on any valid header.
+    #[test]
+    fn hec_corrects_any_single_bit(h in arb_header(), bit in 0u8..40) {
+        let mut bytes = [0u8; 5];
+        h.emit(&mut bytes).unwrap();
+        let good = bytes;
+        hec::flip_bit(&mut bytes, bit);
+        match hec::check(&bytes) {
+            hec::HecResult::SingleBit { bit: b } => prop_assert_eq!(b, bit),
+            other => prop_assert!(false, "expected SingleBit, got {:?}", other),
+        }
+        hec::flip_bit(&mut bytes, bit);
+        prop_assert_eq!(bytes, good);
+    }
+
+    /// No double-bit error on a valid header is ever accepted or
+    /// "corrected" into silence: check() must return Uncorrectable.
+    #[test]
+    fn hec_detects_any_double_bit(h in arb_header(), b1 in 0u8..40, b2 in 0u8..40) {
+        prop_assume!(b1 != b2);
+        let mut bytes = [0u8; 5];
+        h.emit(&mut bytes).unwrap();
+        hec::flip_bit(&mut bytes, b1);
+        hec::flip_bit(&mut bytes, b2);
+        prop_assert_eq!(hec::check(&bytes), hec::HecResult::Uncorrectable);
+    }
+
+    /// Scramble → descramble is the identity for any data, any chunking.
+    #[test]
+    fn scrambler_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                           chunk in 1usize..97) {
+        let mut s = Scrambler::new();
+        let mut d = Descrambler::new();
+        let mut buf = data.clone();
+        for piece in buf.chunks_mut(chunk) {
+            s.scramble(piece);
+        }
+        for piece in buf.chunks_mut(chunk) {
+            d.descramble(piece);
+        }
+        prop_assert_eq!(buf, data);
+    }
+
+    /// The delineator acquires sync on any cell stream at any bit
+    /// offset, and every delivered cell is one of the originals.
+    #[test]
+    fn delineation_from_any_bit_offset(
+        fills in proptest::collection::vec(any::<u8>(), 12..30),
+        offset_bits in 0usize..48,
+    ) {
+        let cells: Vec<Cell> = fills
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                Cell::new(
+                    &HeaderRepr::data(VcId::new(0, 32 + (i as u16 % 100)), false),
+                    &[f; PAYLOAD_SIZE],
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut bits: Vec<u8> = Vec::new();
+        // `offset_bits` leading zero bits, then the cells, bit-packed.
+        let mut acc: u32 = 0;
+        let mut n = offset_bits % 8;
+        // Leading zero bytes for the whole-byte part of the offset.
+        bits.resize(offset_bits / 8, 0);
+        for cell in &cells {
+            for &byte in cell.as_bytes().iter() {
+                acc = (acc << 8) | byte as u32;
+                n += 8;
+                while n >= 8 {
+                    bits.push((acc >> (n - 8)) as u8);
+                    n -= 8;
+                    acc &= (1 << n) - 1;
+                }
+            }
+        }
+        if n > 0 {
+            bits.push((acc << (8 - n)) as u8);
+        }
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&bits, &mut out);
+        prop_assert!(d.is_synced(), "must sync on a clean stream");
+        // Everything delivered must be an original cell, in order.
+        let originals: Vec<&[u8; CELL_SIZE]> = cells.iter().map(|c| c.as_bytes()).collect();
+        let mut cursor = 0;
+        for got in &out {
+            let pos = originals[cursor..]
+                .iter()
+                .position(|o| *o == got.as_bytes());
+            prop_assert!(pos.is_some(), "delivered cell not among originals (in order)");
+            cursor += pos.unwrap() + 1;
+        }
+        // At most 7 cells consumed by acquisition.
+        prop_assert!(out.len() + 7 >= cells.len());
+    }
+
+    /// A GCRA-shaped departure stream always conforms at a policer with
+    /// the same parameters, regardless of source readiness pattern.
+    #[test]
+    fn shaped_stream_conforms(
+        t_ns in 50u64..5000,
+        tau_ns in 0u64..10_000,
+        gaps in proptest::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let t = Duration::from_ns(t_ns);
+        let tau = Duration::from_ns(tau_ns);
+        let mut shaper = Gcra::new(t, tau);
+        let mut policer = Gcra::new(t, tau);
+        let mut now = Time::ZERO;
+        for gap in gaps {
+            now += Duration::from_ns(gap);
+            let at = shaper.earliest_conforming(now);
+            shaper.stamp(at);
+            prop_assert!(policer.conforms(at));
+        }
+    }
+
+    /// Cells always hold their payload verbatim.
+    #[test]
+    fn cell_payload_verbatim(payload in proptest::collection::vec(any::<u8>(), PAYLOAD_SIZE)) {
+        let mut p = [0u8; PAYLOAD_SIZE];
+        p.copy_from_slice(&payload);
+        let cell = Cell::new(&HeaderRepr::data(VcId::new(1, 99), true), &p).unwrap();
+        prop_assert_eq!(cell.payload(), &payload[..]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Criterion benches for the figure experiments (R-F1..R-F7): each group
+//! times the simulation that regenerates one figure, at a reduced but
+//! representative workload size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hni_aal::AalType;
+use hni_atm::VcId;
+use hni_bench::experiments::{rf2_rx_throughput, rf5_loss, rf6_bus, rf7_delineation};
+use hni_core::engine::HwPartition;
+use hni_core::rxsim::{run_rx, RxConfig, RxWorkload};
+use hni_core::txsim::{greedy_workload, run_tx, TxConfig};
+use hni_sonet::LineRate;
+use std::hint::black_box;
+
+fn bench_rf1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r-f1");
+    g.sample_size(20);
+    for (name, partition) in [
+        ("tx-sweep/all-software", HwPartition::all_software()),
+        ("tx-sweep/paper-split", HwPartition::paper_split()),
+    ] {
+        g.bench_function(name, |b| {
+            let mut cfg = TxConfig::paper(LineRate::Oc12);
+            cfg.partition = partition.clone();
+            let wl = greedy_workload(10, 9180, VcId::new(0, 32));
+            b.iter(|| black_box(run_tx(&cfg, &wl).goodput_bps))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rf2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r-f2");
+    g.sample_size(10);
+    g.bench_function("rx-line-rate/paper-split", |b| {
+        let cfg = RxConfig::paper(LineRate::Oc12);
+        let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 4, 8, 9180, 1.0);
+        b.iter(|| black_box(run_rx(&cfg, &wl).goodput_bps))
+    });
+    g.bench_function("host-interrupt-comparison", |b| {
+        b.iter(|| black_box(rf2_rx_throughput::host_interrupt_comparison(0.5)))
+    });
+    g.finish();
+}
+
+fn bench_rf3(c: &mut Criterion) {
+    c.bench_function("r-f3/latency-single-packet", |b| {
+        let cfg = TxConfig::paper(LineRate::Oc12);
+        let wl = greedy_workload(1, 9180, VcId::new(0, 32));
+        b.iter(|| black_box(run_tx(&cfg, &wl).packet_latency_us.mean()))
+    });
+}
+
+fn bench_rf4(c: &mut Criterion) {
+    c.bench_function("r-f4/host-cpu-sweep", |b| {
+        b.iter(|| black_box(hni_bench::experiments::rf4_host_cpu::sweep()))
+    });
+}
+
+fn bench_rf5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r-f5");
+    g.sample_size(10);
+    g.bench_function("loss/functional-survival", |b| {
+        b.iter(|| black_box(rf5_loss::functional_survival(AalType::Aal5, 4096, 5e-3, 20, 3)))
+    });
+    g.finish();
+}
+
+fn bench_rf6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r-f6");
+    g.sample_size(10);
+    g.bench_function("bus/burst-sweep", |b| {
+        b.iter(|| black_box(rf6_bus::sweep(5)))
+    });
+    g.finish();
+}
+
+fn bench_rf7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r-f7");
+    g.sample_size(10);
+    g.bench_function("delineation/clean", |b| {
+        b.iter(|| black_box(rf7_delineation::measure(0.0, 1000, 1).delivered))
+    });
+    g.bench_function("delineation/ber-1e-4", |b| {
+        b.iter(|| black_box(rf7_delineation::measure(1e-4, 1000, 1).delivered))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures, bench_rf1, bench_rf2, bench_rf3, bench_rf4, bench_rf5, bench_rf6, bench_rf7
+);
+criterion_main!(figures);

@@ -1,0 +1,48 @@
+//! Criterion benches for the table experiments (R-T1..R-T5): each group
+//! times the code path that regenerates one table of the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hni_bench::experiments::{rt1_budget, rt2_partition, rt3_memory, rt4_pacing, rt5_overhead};
+use std::hint::black_box;
+
+fn bench_rt1(c: &mut Criterion) {
+    c.bench_function("r-t1/budget-table", |b| {
+        b.iter(|| black_box(rt1_budget::run()))
+    });
+}
+
+fn bench_rt2(c: &mut Criterion) {
+    c.bench_function("r-t2/partition-table", |b| {
+        b.iter(|| black_box(rt2_partition::run()))
+    });
+}
+
+fn bench_rt3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r-t3");
+    g.sample_size(10);
+    g.bench_function("memory/measured-peak-16vc", |b| {
+        b.iter(|| black_box(rt3_memory::measured_peak(16, 32)))
+    });
+    g.finish();
+}
+
+fn bench_rt4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r-t4");
+    g.sample_size(10);
+    g.bench_function("pacing/jitter-paced", |b| {
+        b.iter(|| black_box(rt4_pacing::measure(true).sd_us))
+    });
+    g.bench_function("pacing/jitter-unpaced", |b| {
+        b.iter(|| black_box(rt4_pacing::measure(false).sd_us))
+    });
+    g.finish();
+}
+
+fn bench_rt5(c: &mut Criterion) {
+    c.bench_function("r-t5/overhead-waterfall", |b| {
+        b.iter(|| black_box(rt5_overhead::run()))
+    });
+}
+
+criterion_group!(tables, bench_rt1, bench_rt2, bench_rt3, bench_rt4, bench_rt5);
+criterion_main!(tables);

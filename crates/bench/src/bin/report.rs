@@ -1,0 +1,33 @@
+//! Regenerate the evaluation: every table and figure, as text.
+//!
+//! ```text
+//! cargo run -p hni-bench --bin report --release             # everything
+//! cargo run -p hni-bench --bin report --release -- r-f1     # one experiment
+//! cargo run -p hni-bench --bin report --release -- list     # list ids
+//! ```
+
+use hni_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("all") => {
+            for id in EXPERIMENT_IDS {
+                println!("{}", "=".repeat(78));
+                println!("{}", run_experiment(id).expect("known id"));
+            }
+        }
+        Some("list") => {
+            for id in EXPERIMENT_IDS {
+                println!("{id}");
+            }
+        }
+        Some(id) => match run_experiment(&id.to_lowercase()) {
+            Some(out) => println!("{out}"),
+            None => {
+                eprintln!("unknown experiment '{id}'; try: list");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,18 @@
+//! The reconstructed experiments, one module each. See DESIGN.md §4 for
+//! the index and EXPERIMENTS.md for expected shape vs measured output.
+
+pub mod ra1_fifo_depth;
+pub mod ra2_mips;
+pub mod rf1_tx_throughput;
+pub mod rf2_rx_throughput;
+pub mod rf3_latency;
+pub mod rf4_host_cpu;
+pub mod rf5_loss;
+pub mod rf6_bus;
+pub mod rf7_delineation;
+pub mod rf8_congestion;
+pub mod rt1_budget;
+pub mod rt2_partition;
+pub mod rt3_memory;
+pub mod rt4_pacing;
+pub mod rt5_overhead;

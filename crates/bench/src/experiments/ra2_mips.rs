@@ -1,0 +1,119 @@
+//! R-A2 (ablation): how fast must the protocol engine be?
+//!
+//! Sweeping engine MIPS for each partition answers the procurement
+//! question behind the architecture: the paper split makes a ~20 MIPS
+//! part sufficient at OC-12, while all-software needs an (unbuyable in
+//! the era) ~300 MIPS. The analytic minimum is the per-cell instruction
+//! count × the slot rate; the simulation column verifies delivery at
+//! line load just above and below it.
+
+use crate::table::{fmt_pct, Table};
+use hni_aal::AalType;
+use hni_core::engine::{HwPartition, ProtocolEngine};
+use hni_core::rxsim::{run_rx, RxConfig, RxWorkload};
+use hni_sonet::LineRate;
+
+/// Analytic minimum MIPS to sustain the per-cell receive work at
+/// `rate`'s slot rate under `partition`.
+pub fn min_mips_rx(partition: &HwPartition, rate: LineRate) -> f64 {
+    let e = ProtocolEngine::new(1.0, partition.clone());
+    e.rx_per_cell_instructions() as f64 * rate.cell_slots_per_second() / 1e6
+}
+
+/// One sweep point.
+pub struct Point {
+    /// Partition name.
+    pub partition: &'static str,
+    /// Engine MIPS simulated.
+    pub mips: f64,
+    /// Packets delivered / offered at OC-12 line load.
+    pub delivery: f64,
+}
+
+/// Simulate delivery at line load for a MIPS grid per partition.
+pub fn sweep() -> Vec<Point> {
+    let mut out = Vec::new();
+    for partition in [HwPartition::all_software(), HwPartition::paper_split()] {
+        for &mips in &[12.5, 25.0, 50.0, 100.0, 200.0, 400.0] {
+            let mut cfg = RxConfig::paper(LineRate::Oc12);
+            cfg.partition = partition.clone();
+            cfg.mips = mips;
+            let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 4, 15, 9180, 1.0);
+            let r = run_rx(&cfg, &wl);
+            out.push(Point {
+                partition: partition.name,
+                mips,
+                delivery: r.delivered_packets as f64 / wl.pkts.len() as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Render the table.
+pub fn run() -> String {
+    let mut analytic = Table::new(["partition", "min MIPS @ OC-3", "min MIPS @ OC-12"]);
+    for p in [
+        HwPartition::all_software(),
+        HwPartition::paper_split(),
+        HwPartition::full_hardware(),
+    ] {
+        analytic.row([
+            p.name.to_string(),
+            format!("{:.1}", min_mips_rx(&p, LineRate::Oc3)),
+            format!("{:.1}", min_mips_rx(&p, LineRate::Oc12)),
+        ]);
+    }
+    let mut sim = Table::new(["partition", "MIPS", "pkts delivered @ OC-12 line load"]);
+    for p in sweep() {
+        sim.row([p.partition.to_string(), format!("{:.1}", p.mips), fmt_pct(p.delivery)]);
+    }
+    format!(
+        "R-A2 — Ablation: engine speed (receive direction, per-cell work)\n\n\
+         Analytic minimum MIPS (per-cell work × slot rate):\n{}\n\
+         Simulated delivery at OC-12 line load (9180-octet packets):\n{}",
+        analytic.render(),
+        sim.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_minimums() {
+        // paper split: 15 instr × 1.4128 Mcells/s ≈ 21.2 MIPS at OC-12.
+        let split = min_mips_rx(&HwPartition::paper_split(), LineRate::Oc12);
+        assert!((split - 21.2).abs() < 0.2, "{split}");
+        // all-software: 202 instr ≈ 285 MIPS.
+        let sw = min_mips_rx(&HwPartition::all_software(), LineRate::Oc12);
+        assert!((sw - 285.4).abs() < 1.0, "{sw}");
+        assert_eq!(min_mips_rx(&HwPartition::full_hardware(), LineRate::Oc12), 0.0);
+    }
+
+    #[test]
+    fn sim_confirms_the_threshold() {
+        let pts = sweep();
+        let split_25 = pts
+            .iter()
+            .find(|p| p.partition == "paper-split" && p.mips == 25.0)
+            .unwrap();
+        assert_eq!(split_25.delivery, 1.0, "25 MIPS > 21.2 minimum: full delivery");
+        let split_12 = pts
+            .iter()
+            .find(|p| p.partition == "paper-split" && p.mips == 12.5)
+            .unwrap();
+        assert!(split_12.delivery < 1.0, "12.5 MIPS < minimum must lose");
+        let sw_200 = pts
+            .iter()
+            .find(|p| p.partition == "all-software" && p.mips == 200.0)
+            .unwrap();
+        assert!(sw_200.delivery < 1.0, "200 MIPS still below 285");
+        let sw_400 = pts
+            .iter()
+            .find(|p| p.partition == "all-software" && p.mips == 400.0)
+            .unwrap();
+        assert_eq!(sw_400.delivery, 1.0, "400 MIPS clears all-software");
+    }
+}

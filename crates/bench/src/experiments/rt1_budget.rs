@@ -1,0 +1,40 @@
+//! R-T1: per-cell instruction budgets — cell clocks at OC-3/OC-12
+//! against engine speeds.
+
+use crate::table::Table;
+use hni_analysis::budget::{budget_rows, default_mips_grid};
+
+/// Render the budget table.
+pub fn run() -> String {
+    let mut t = Table::new([
+        "rate",
+        "cell time (line)",
+        "cell slot (payload)",
+        "engine MIPS",
+        "instr / slot",
+    ]);
+    for r in budget_rows(&default_mips_grid()) {
+        t.row([
+            format!("{:?}", r.rate),
+            format!("{:.1} ns", r.cell_line_ns),
+            format!("{:.1} ns", r.cell_slot_ns),
+            format!("{:.1}", r.mips),
+            format!("{:.1}", r.instructions_per_slot),
+        ]);
+    }
+    format!(
+        "R-T1 — Per-cell instruction budget\n\
+         (engine instructions available in one payload cell slot)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_rows() {
+        let out = super::run();
+        assert!(out.contains("Oc3") && out.contains("Oc12"));
+        assert!(out.lines().count() >= 12);
+    }
+}

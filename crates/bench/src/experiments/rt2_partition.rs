@@ -1,0 +1,72 @@
+//! R-T2: the hardware/software partition table and per-direction
+//! sustainable cell rates.
+
+use crate::table::Table;
+use hni_analysis::partition::{partition_rows, stage_rates, standard_partitions};
+use hni_sonet::LineRate;
+
+const MIPS: f64 = 25.0;
+
+/// Render the per-task cost table plus the stage-rate verdicts.
+pub fn run() -> String {
+    let partitions = standard_partitions();
+
+    let mut per_task = Table::new(["partition", "task", "where", "instr", "engine ns"]);
+    for r in partition_rows(&partitions, MIPS) {
+        per_task.row([
+            r.partition.to_string(),
+            r.task.to_string(),
+            if r.in_hardware { "hw".into() } else { "sw".into() },
+            r.engine_instructions.to_string(),
+            format!("{:.0}", r.engine_ns),
+        ]);
+    }
+
+    let mut verdicts = Table::new([
+        "rate",
+        "partition",
+        "tx instr/cell",
+        "rx instr/cell",
+        "tx Mcells/s",
+        "rx Mcells/s",
+        "keeps up?",
+    ]);
+    for rate in [LineRate::Oc3, LineRate::Oc12] {
+        for s in stage_rates(&partitions, MIPS, rate) {
+            verdicts.row([
+                format!("{rate:?}"),
+                s.partition.to_string(),
+                s.tx_instr_per_cell.to_string(),
+                s.rx_instr_per_cell.to_string(),
+                format!("{:.2}", s.tx_cells_per_second / 1e6),
+                format!("{:.2}", s.rx_cells_per_second / 1e6),
+                match (s.tx_keeps_up, s.rx_keeps_up) {
+                    (true, true) => "yes".into(),
+                    (true, false) => "tx only".into(),
+                    (false, true) => "rx only".into(),
+                    (false, false) => "no".into(),
+                },
+            ]);
+        }
+    }
+
+    format!(
+        "R-T2 — Hardware/software partition ({MIPS} MIPS engine)\n\n\
+         Per-task engine cost:\n{}\n\
+         Sustainable per-direction cell rates vs link slot rate:\n{}",
+        per_task.render(),
+        verdicts.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shows_the_design_verdict() {
+        let out = super::run();
+        assert!(out.contains("paper-split"));
+        assert!(out.contains("all-software"));
+        assert!(out.contains("yes"));
+        assert!(out.contains("no"));
+    }
+}

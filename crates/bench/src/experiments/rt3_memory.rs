@@ -1,0 +1,84 @@
+//! R-T3: reassembly memory — the analytic strategy table plus measured
+//! pool occupancy under interleaving.
+
+use crate::table::Table;
+use hni_aal::AalType;
+use hni_analysis::memory::memory_rows;
+use hni_core::bufpool::PoolConfig;
+use hni_core::rxsim::{run_rx, RxConfig, RxWorkload};
+use hni_sonet::LineRate;
+
+/// Measured pool peak for `n_vcs` interleaved 9180-octet frames.
+pub fn measured_peak(n_vcs: usize, cells_per_buffer: usize) -> u64 {
+    let mut cfg = RxConfig::paper(LineRate::Oc12);
+    cfg.pool = PoolConfig {
+        // Generous cap so the peak is a measurement, not the limit
+        // (64 VCs × 192-cell frames × pipelining can chain >12k cells).
+        total_buffers: 32_768,
+        cells_per_buffer,
+    };
+    let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, n_vcs, 2, 9180, 1.0);
+    run_rx(&cfg, &wl).pool_peak
+}
+
+/// Render both tables.
+pub fn run() -> String {
+    let mut t = Table::new([
+        "strategy",
+        "2-cell frame",
+        "192-cell frame",
+        "1366-cell frame",
+        "O(1) access",
+    ]);
+    for r in memory_rows() {
+        t.row([
+            r.name.clone(),
+            format!("{} B", r.small),
+            format!("{} B", r.datagram),
+            format!("{} B", r.max),
+            if r.o1_access { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    let mut m = Table::new(["interleaved VCs", "buffer org", "peak buffers", "peak octets"]);
+    for &n in &[1usize, 16, 64] {
+        for &k in &[1usize, 32] {
+            let peak = measured_peak(n, k);
+            m.row([
+                n.to_string(),
+                if k == 1 {
+                    "per-cell".to_string()
+                } else {
+                    format!("{k}-cell containers")
+                },
+                peak.to_string(),
+                (peak as usize * (k * 48 + 4 + k.div_ceil(8))).to_string(),
+            ]);
+        }
+    }
+    format!(
+        "R-T3 — Adaptor reassembly memory\n\n\
+         Local octets per frame, by organisation (analytic):\n{}\n\
+         Measured peak pool occupancy (9180-octet frames at OC-12 line rate):\n{}",
+        t.render(),
+        m.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaving_scales_measured_peak() {
+        let one = measured_peak(1, 32);
+        let sixteen = measured_peak(16, 32);
+        assert!(sixteen >= 8 * one, "1 VC {one} vs 16 VCs {sixteen}");
+    }
+
+    #[test]
+    fn containers_use_fewer_buffers_than_per_cell() {
+        let cells = measured_peak(16, 1);
+        let containers = measured_peak(16, 32);
+        assert!(containers * 16 < cells, "containers {containers} cells {cells}");
+    }
+}

@@ -1,0 +1,31 @@
+//! R-T5: the overhead waterfall — where the 622 Mb/s goes.
+
+use crate::table::{fmt_bps, fmt_pct, Table};
+use hni_aal::AalType;
+use hni_analysis::overhead::overhead_waterfall;
+use hni_sonet::LineRate;
+
+/// Render the waterfall for both rates and both AALs at the IP MTU.
+pub fn run() -> String {
+    let mut out = String::from("R-T5 — Layer-by-layer overhead waterfall (9180-octet frames)\n\n");
+    for rate in [LineRate::Oc3, LineRate::Oc12] {
+        for aal in [AalType::Aal5, AalType::Aal34] {
+            let mut t = Table::new(["layer", "rate remaining", "fraction of line"]);
+            for step in overhead_waterfall(rate, aal, 9180) {
+                t.row([step.label.clone(), fmt_bps(step.rate_bps), fmt_pct(step.fraction_of_line)]);
+            }
+            out.push_str(&format!("{rate:?} / {aal}:\n{}\n", t.render()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_four_waterfalls() {
+        let out = super::run();
+        assert_eq!(out.matches("fraction of line").count(), 4);
+        assert!(out.contains("AAL3/4"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # hni-bench — the evaluation harness
+//!
+//! One module per reconstructed experiment (see DESIGN.md §4 for the
+//! index). Each `run()` returns a rendered text table/figure **and** the
+//! underlying numbers, so the `report` binary prints them and the
+//! Criterion benches time reduced versions of the same code paths.
+//!
+//! ```text
+//! cargo run -p hni-bench --bin report --release            # all experiments
+//! cargo run -p hni-bench --bin report --release -- r-f1    # one experiment
+//! ```
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// All experiment ids, in report order.
+pub const EXPERIMENT_IDS: [&str; 15] = [
+    "r-t1", "r-t2", "r-t3", "r-t4", "r-t5", "r-f1", "r-f2", "r-f3", "r-f4", "r-f5", "r-f6",
+    "r-f7", "r-f8", "r-a1", "r-a2",
+];
+
+/// Run one experiment by id, returning its rendered report.
+pub fn run_experiment(id: &str) -> Option<String> {
+    match id {
+        "r-t1" => Some(experiments::rt1_budget::run()),
+        "r-t2" => Some(experiments::rt2_partition::run()),
+        "r-t3" => Some(experiments::rt3_memory::run()),
+        "r-t4" => Some(experiments::rt4_pacing::run()),
+        "r-t5" => Some(experiments::rt5_overhead::run()),
+        "r-f1" => Some(experiments::rf1_tx_throughput::run()),
+        "r-f2" => Some(experiments::rf2_rx_throughput::run()),
+        "r-f3" => Some(experiments::rf3_latency::run()),
+        "r-f4" => Some(experiments::rf4_host_cpu::run()),
+        "r-f5" => Some(experiments::rf5_loss::run()),
+        "r-f6" => Some(experiments::rf6_bus::run()),
+        "r-f7" => Some(experiments::rf7_delineation::run()),
+        "r-f8" => Some(experiments::rf8_congestion::run()),
+        "r-a1" => Some(experiments::ra1_fifo_depth::run()),
+        "r-a2" => Some(experiments::ra2_mips::run()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_runs_and_renders() {
+        for id in EXPERIMENT_IDS {
+            let out = run_experiment(id).unwrap_or_else(|| panic!("{id} missing"));
+            assert!(out.len() > 100, "{id} output suspiciously short");
+            assert!(out.contains(&id.to_uppercase()), "{id} header missing");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("r-f99").is_none());
+    }
+}

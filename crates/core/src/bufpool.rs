@@ -1,0 +1,248 @@
+//! Adaptor reassembly memory: the buffer pool receive-side cells land in
+//! while their frame completes.
+//!
+//! The receive pipeline cannot know a frame's length until its last cell
+//! arrives, and cells of many VCs interleave arbitrarily — so adaptor
+//! memory is organised as a pool of fixed-size buffers chained per
+//! connection, with a free list. Two organisations are supported,
+//! matching the options the era's designs weighed:
+//!
+//! * **cells_per_buffer = 1** — a linked list of single-cell buffers:
+//!   no internal fragmentation, one pointer dereference per cell.
+//! * **cells_per_buffer = k** (e.g. 32) — container buffers: k cell
+//!   payloads plus a validity map per buffer; fewer, larger allocations,
+//!   some waste at frame tails.
+//!
+//! The pool tracks exactly what buffer-sizing decisions need: buffers in
+//! use over time (time-weighted mean and peak) and allocation failures
+//! (a failure means a cell had nowhere to land — the frame is lost to
+//! *memory* pressure, not link errors; real interfaces under-provisioned
+//! this and the loss was mysterious at the time).
+
+use hni_sim::{OccupancyTracker, Time};
+use std::collections::HashMap;
+
+/// Identifies one buffer chain: one frame under reassembly (or awaiting
+/// delivery DMA). Chains are per-*frame*, not per-connection — with
+/// pipelined completion, a connection's next frame starts arriving while
+/// the previous one still owns its buffers.
+pub type ChainKey = u32;
+
+/// Pool organisation parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Total buffers in adaptor memory.
+    pub total_buffers: usize,
+    /// Cell payloads per buffer (1 = per-cell linked list; >1 = containers).
+    pub cells_per_buffer: usize,
+}
+
+impl PoolConfig {
+    /// Octets of adaptor SRAM this configuration occupies, counting the
+    /// 48-octet payload slots plus per-buffer overhead (next pointer,
+    /// validity bitmap rounded to whole octets).
+    pub fn sram_octets(&self) -> usize {
+        let per_buffer =
+            self.cells_per_buffer * 48 + 4 + self.cells_per_buffer.div_ceil(8);
+        self.total_buffers * per_buffer
+    }
+}
+
+/// Why a cell could not be stored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// The free list is empty.
+    Exhausted,
+}
+
+struct Chain {
+    buffers: usize,
+    cells_in_tail: usize,
+}
+
+/// The operational buffer pool.
+pub struct BufferPool {
+    cfg: PoolConfig,
+    free: usize,
+    chains: HashMap<ChainKey, Chain>,
+    occupancy: OccupancyTracker,
+    alloc_failures: u64,
+    cells_stored: u64,
+}
+
+impl BufferPool {
+    /// A pool per `cfg`, all buffers free.
+    pub fn new(cfg: PoolConfig) -> Self {
+        assert!(cfg.total_buffers > 0 && cfg.cells_per_buffer > 0);
+        BufferPool {
+            cfg,
+            free: cfg.total_buffers,
+            chains: HashMap::new(),
+            occupancy: OccupancyTracker::new(),
+            alloc_failures: 0,
+            cells_stored: 0,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// Store one cell on chain `conn` at time `now`.
+    pub fn append_cell(&mut self, now: Time, conn: ChainKey) -> Result<(), PoolError> {
+        let needs_buffer = match self.chains.get(&conn) {
+            Some(chain) => chain.cells_in_tail == self.cfg.cells_per_buffer,
+            None => true,
+        };
+        if needs_buffer {
+            if self.free == 0 {
+                self.alloc_failures += 1;
+                return Err(PoolError::Exhausted);
+            }
+            self.free -= 1;
+            let in_use = (self.cfg.total_buffers - self.free) as u64;
+            self.occupancy.set(now, in_use);
+            let chain = self.chains.entry(conn).or_insert(Chain {
+                buffers: 0,
+                cells_in_tail: 0,
+            });
+            chain.buffers += 1;
+            chain.cells_in_tail = 0;
+        }
+        let chain = self.chains.get_mut(&conn).expect("chain ensured above");
+        chain.cells_in_tail += 1;
+        self.cells_stored += 1;
+        Ok(())
+    }
+
+    /// Release a whole chain (frame delivered or abandoned). Returns the number of buffers freed.
+    pub fn release_chain(&mut self, now: Time, conn: ChainKey) -> usize {
+        match self.chains.remove(&conn) {
+            None => 0,
+            Some(chain) => {
+                self.free += chain.buffers;
+                let in_use = (self.cfg.total_buffers - self.free) as u64;
+                self.occupancy.set(now, in_use);
+                chain.buffers
+            }
+        }
+    }
+
+    /// Buffers currently free.
+    pub fn free_buffers(&self) -> usize {
+        self.free
+    }
+    /// Buffers currently chained to connections.
+    pub fn in_use(&self) -> usize {
+        self.cfg.total_buffers - self.free
+    }
+    /// Cells a given connection currently holds (0 if no chain).
+    pub fn cells_of(&self, conn: ChainKey) -> usize {
+        self.chains
+            .get(&conn)
+            .map(|c| (c.buffers - 1) * self.cfg.cells_per_buffer + c.cells_in_tail)
+            .unwrap_or(0)
+    }
+    /// Peak buffers in use.
+    pub fn peak_in_use(&self) -> u64 {
+        self.occupancy.peak()
+    }
+    /// Time-weighted mean buffers in use over `[0, end]`.
+    pub fn mean_in_use(&self, end: Time) -> f64 {
+        self.occupancy.mean(end)
+    }
+    /// Cells that found no buffer.
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
+    }
+    /// Cells stored successfully.
+    pub fn cells_stored(&self) -> u64 {
+        self.cells_stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(total: usize, k: usize) -> BufferPool {
+        BufferPool::new(PoolConfig {
+            total_buffers: total,
+            cells_per_buffer: k,
+        })
+    }
+
+    #[test]
+    fn single_cell_buffers_one_per_cell() {
+        let mut p = pool(10, 1);
+        for _ in 0..4 {
+            p.append_cell(Time::ZERO, 0).unwrap();
+        }
+        assert_eq!(p.in_use(), 4);
+        assert_eq!(p.cells_of(0), 4);
+        assert_eq!(p.release_chain(Time::ZERO, 0), 4);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn container_buffers_amortize() {
+        let mut p = pool(10, 32);
+        for _ in 0..33 {
+            p.append_cell(Time::ZERO, 0).unwrap();
+        }
+        assert_eq!(p.in_use(), 2, "33 cells need two 32-cell containers");
+        assert_eq!(p.cells_of(0), 33);
+    }
+
+    #[test]
+    fn exhaustion_reported_and_counted() {
+        let mut p = pool(2, 1);
+        p.append_cell(Time::ZERO, 0).unwrap();
+        p.append_cell(Time::ZERO, 1).unwrap();
+        assert_eq!(p.append_cell(Time::ZERO, 2), Err(PoolError::Exhausted));
+        assert_eq!(p.alloc_failures(), 1);
+        // Releasing frees space again.
+        p.release_chain(Time::ZERO, 0);
+        assert!(p.append_cell(Time::ZERO, 2).is_ok());
+    }
+
+    #[test]
+    fn chains_are_per_connection() {
+        let mut p = pool(10, 32);
+        p.append_cell(Time::ZERO, 0).unwrap();
+        p.append_cell(Time::ZERO, 1).unwrap();
+        // Two connections never share a container.
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.cells_of(0), 1);
+        assert_eq!(p.cells_of(1), 1);
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut p = pool(10, 1);
+        p.append_cell(Time::ZERO, 0).unwrap();
+        p.append_cell(Time::ZERO, 0).unwrap();
+        p.release_chain(Time::from_us(1), 0);
+        assert_eq!(p.peak_in_use(), 2);
+        // 2 buffers for 1 µs, 0 for 1 µs → mean 1.
+        let mean = p.mean_in_use(Time::from_us(2));
+        assert!((mean - 1.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn sram_accounting() {
+        // 256 single-cell buffers: 256 × (48 + 4 + 1) = 13,568 octets.
+        let single = PoolConfig { total_buffers: 256, cells_per_buffer: 1 };
+        assert_eq!(single.sram_octets(), 256 * 53);
+        // 8 × 32-cell containers: 8 × (1536 + 4 + 4) = 12,352.
+        let containers = PoolConfig { total_buffers: 8, cells_per_buffer: 32 };
+        assert_eq!(containers.sram_octets(), 8 * 1544);
+    }
+
+    #[test]
+    fn release_unknown_chain_is_zero() {
+        let mut p = pool(4, 1);
+        assert_eq!(p.release_chain(Time::ZERO, 9), 0);
+    }
+}

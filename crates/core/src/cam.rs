@@ -1,0 +1,162 @@
+//! The receive-side connection lookup: mapping an incoming cell's
+//! 24-bit VPI/VCI to a small connection index.
+//!
+//! At 622 Mb/s the lookup happens every ~708 ns, for a key space of 2²⁴
+//! — far too large for a direct table in adaptor SRAM of the era, and a
+//! software hash probe eats a fifth of the engine's per-cell budget.
+//! The architecture therefore provisions a small **content-addressable
+//! memory**: all entries compared in parallel, one cycle, bounded
+//! capacity. This module models that device (and, for the all-software
+//! ablation, the cost lives in
+//! [`crate::engine::TaskKind::RxVciLookup`]).
+//!
+//! The CAM is also where "is this VC even open?" is answered: a miss is
+//! not an error in the device, it is the signal that the cell belongs to
+//! no configured connection and must be dropped (counted — those drops
+//! are invisible otherwise and real interfaces got this wrong).
+
+use hni_atm::VcId;
+use std::collections::HashMap;
+
+/// Result of a CAM lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CamResult {
+    /// The key matched: connection index returned.
+    Hit(u16),
+    /// No entry for this key.
+    Miss,
+}
+
+/// A capacity-bounded VPI/VCI → connection-index CAM.
+///
+/// Functionally a hash map; the *capacity bound* and the hit/miss
+/// accounting are the architecturally relevant behaviour. Lookup latency
+/// is one bus cycle, overlapped with header processing — it never
+/// appears as engine time, which is the point of buying a CAM.
+#[derive(Debug)]
+pub struct Cam {
+    entries: HashMap<u32, u16>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cam {
+    /// A CAM with room for `capacity` simultaneous connections.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Cam {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Install a mapping. Returns `false` (and installs nothing) if the
+    /// CAM is full or the index is already in use by another key.
+    pub fn insert(&mut self, vc: VcId, index: u16) -> bool {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.entries.entry(vc.cam_key()) {
+            // Re-programming an existing key to a new index is allowed.
+            e.insert(index);
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.insert(vc.cam_key(), index);
+        true
+    }
+
+    /// Remove a mapping; returns whether it existed.
+    pub fn remove(&mut self, vc: VcId) -> bool {
+        self.entries.remove(&vc.cam_key()).is_some()
+    }
+
+    /// Look up a cell's VC (counts hit/miss).
+    pub fn lookup(&mut self, vc: VcId) -> CamResult {
+        match self.entries.get(&vc.cam_key()) {
+            Some(&idx) => {
+                self.hits += 1;
+                CamResult::Hit(idx)
+            }
+            None => {
+                self.misses += 1;
+                CamResult::Miss
+            }
+        }
+    }
+
+    /// Entries currently installed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+    /// Whether the CAM is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+    /// Lookups that matched.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+    /// Lookups that missed (cells for unconfigured VCs).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cam = Cam::new(16);
+        assert!(cam.insert(VcId::new(1, 100), 3));
+        assert_eq!(cam.lookup(VcId::new(1, 100)), CamResult::Hit(3));
+        assert_eq!(cam.lookup(VcId::new(1, 101)), CamResult::Miss);
+        assert_eq!(cam.hits(), 1);
+        assert_eq!(cam.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut cam = Cam::new(2);
+        assert!(cam.insert(VcId::new(0, 32), 0));
+        assert!(cam.insert(VcId::new(0, 33), 1));
+        assert!(!cam.insert(VcId::new(0, 34), 2), "third entry must be refused");
+        assert_eq!(cam.len(), 2);
+    }
+
+    #[test]
+    fn reprogram_existing_key_allowed_at_capacity() {
+        let mut cam = Cam::new(1);
+        assert!(cam.insert(VcId::new(0, 32), 0));
+        assert!(cam.insert(VcId::new(0, 32), 7), "re-map same key");
+        assert_eq!(cam.lookup(VcId::new(0, 32)), CamResult::Hit(7));
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut cam = Cam::new(1);
+        cam.insert(VcId::new(0, 32), 0);
+        assert!(cam.remove(VcId::new(0, 32)));
+        assert!(!cam.remove(VcId::new(0, 32)));
+        assert!(cam.insert(VcId::new(0, 33), 1));
+    }
+
+    #[test]
+    fn distinct_vpi_vci_do_not_collide() {
+        // (vpi=1, vci=0) vs (vpi=0, vci=65536-ish patterns) must be
+        // distinct keys — guards the key packing.
+        let mut cam = Cam::new(8);
+        cam.insert(VcId::new(1, 0), 10);
+        cam.insert(VcId::new(0, 256), 11);
+        assert_eq!(cam.lookup(VcId::new(1, 0)), CamResult::Hit(10));
+        assert_eq!(cam.lookup(VcId::new(0, 256)), CamResult::Hit(11));
+    }
+}

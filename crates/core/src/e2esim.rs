@@ -1,0 +1,209 @@
+//! End-to-end timing composition: transmit pipeline → propagation →
+//! receive pipeline, as one measurement.
+//!
+//! The closed-form latency breakdown (R-F3) sums component terms for an
+//! *unloaded* path. This composition replays the transmit simulation's
+//! actual cell departure times — including every engine, bus, FIFO and
+//! pacing interaction — into the receive simulation as the arrival
+//! schedule, so end-to-end latency and its *distribution under load*
+//! come out of the same machinery the throughput experiments use.
+//!
+//! What the composition deliberately keeps: the ordering and spacing of
+//! cells on the wire (that IS the link). What it abstracts: the SONET
+//! frame boundaries (cells ride a continuous slot stream; framing
+//! overhead is already accounted in the slot rate).
+
+use crate::rxsim::{run_rx_traced, CellArrival, RxConfig, RxPktMeta, RxWorkload};
+use crate::txsim::{run_tx_traced, TxConfig, TxPacket};
+use hni_aal::AalType;
+use hni_sim::{Duration, Summary, Time};
+use std::collections::HashMap;
+
+/// End-to-end results.
+#[derive(Clone, Debug)]
+pub struct E2eReport {
+    /// Packets offered.
+    pub offered: u64,
+    /// Packets delivered into host B memory.
+    pub delivered: u64,
+    /// Descriptor-at-A → completion-at-B latency, µs.
+    pub latency_us: Summary,
+    /// End-to-end goodput, bits/s.
+    pub goodput_bps: f64,
+    /// The transmit-side report.
+    pub tx: crate::txsim::TxReport,
+    /// The receive-side report.
+    pub rx: crate::rxsim::RxReport,
+}
+
+/// Run packets end to end: transmit pipeline at A, `propagation` of
+/// fibre, receive pipeline at B.
+pub fn run_e2e(
+    tx_cfg: &TxConfig,
+    rx_cfg: &RxConfig,
+    packets: &[TxPacket],
+    propagation: Duration,
+) -> E2eReport {
+    assert_eq!(
+        tx_cfg.aal, rx_cfg.aal,
+        "both ends must speak the same adaptation layer"
+    );
+    let (tx_report, departures) = run_tx_traced(tx_cfg, packets);
+
+    // Packet table: connection indices assigned per VC, cell counts from
+    // the AAL arithmetic.
+    let mut conn_of = HashMap::new();
+    let pkts: Vec<RxPktMeta> = packets
+        .iter()
+        .map(|p| {
+            let next = conn_of.len() as u16;
+            let conn = *conn_of.entry(p.vc).or_insert(next);
+            RxPktMeta {
+                conn,
+                len: p.len,
+                cells: aal_cells(tx_cfg.aal, p.len),
+            }
+        })
+        .collect();
+
+    let arrivals: Vec<CellArrival> = departures
+        .iter()
+        .map(|d| CellArrival {
+            at: d.at + propagation,
+            pkt: d.pkt,
+            is_last: d.is_last,
+        })
+        .collect();
+    let wl = RxWorkload { arrivals, pkts };
+    let (rx_report, completions) = run_rx_traced(rx_cfg, &wl);
+
+    let mut latency = Summary::new();
+    let mut delivered_octets = 0u64;
+    for (i, done) in completions.iter().enumerate() {
+        if let Some(t) = done {
+            latency.record_us(t.saturating_since(packets[i].arrival));
+            delivered_octets += packets[i].len as u64;
+        }
+    }
+    let end = rx_report.finished_at;
+    let elapsed = end.saturating_since(Time::ZERO).as_s_f64();
+    E2eReport {
+        offered: packets.len() as u64,
+        delivered: rx_report.delivered_packets,
+        latency_us: latency,
+        goodput_bps: if elapsed > 0.0 {
+            delivered_octets as f64 * 8.0 / elapsed
+        } else {
+            0.0
+        },
+        tx: tx_report,
+        rx: rx_report,
+    }
+}
+
+fn aal_cells(aal: AalType, len: usize) -> usize {
+    aal.cells_for_sdu(len).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txsim::greedy_workload;
+    use hni_atm::VcId;
+    use hni_sonet::LineRate;
+
+    fn paper_pair() -> (TxConfig, RxConfig) {
+        (TxConfig::paper(LineRate::Oc12), RxConfig::paper(LineRate::Oc12))
+    }
+
+    #[test]
+    fn everything_arrives_unloaded() {
+        let (txc, rxc) = paper_pair();
+        let r = run_e2e(&txc, &rxc, &greedy_workload(10, 9180, VcId::new(0, 32)), Duration::from_us(5));
+        assert_eq!(r.delivered, 10);
+        assert_eq!(r.rx.failed_packets, 0);
+        assert!(r.latency_us.count() == 10);
+    }
+
+    #[test]
+    fn single_packet_latency_close_to_analytic_total() {
+        let (txc, rxc) = paper_pair();
+        let prop = Duration::from_us(5);
+        let r = run_e2e(&txc, &rxc, &greedy_workload(1, 9180, VcId::new(0, 32)), prop);
+        let analytic = hni_analysis_total_us(9180, prop);
+        let measured = r.latency_us.mean();
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(
+            rel < 0.15,
+            "e2e sim {measured} µs vs analytic {analytic} µs"
+        );
+    }
+
+    /// Recompute the analytic total here rather than depending on
+    /// hni-analysis (which depends on this crate).
+    fn hni_analysis_total_us(len: usize, prop: Duration) -> f64 {
+        use crate::bus::BusConfig;
+        use crate::engine::{HwPartition, ProtocolEngine, TaskKind};
+        let e = ProtocolEngine::new(25.0, HwPartition::paper_split());
+        let bus = BusConfig::default();
+        let cells = AalType::Aal5.cells_for_sdu(len);
+        let mut total = e.task_time(TaskKind::TxPacketSetup)
+            + e.task_time(TaskKind::TxDmaBurst)
+            + bus.burst_time(bus.burst_words(len, 0))
+            + e.task_time(TaskKind::TxCellSegment)
+            + LineRate::Oc12.cell_slot_time() * cells as u64
+            + prop
+            + e.task_time(TaskKind::RxCellEnqueue)
+            + e.task_time(TaskKind::RxPacketValidate)
+            + e.task_time(TaskKind::RxPacketComplete);
+        for b in 0..bus.bursts_for(len) {
+            total += e.task_time(TaskKind::RxDmaBurst) + bus.burst_time(bus.burst_words(len, b));
+        }
+        total.as_us_f64()
+    }
+
+    #[test]
+    fn propagation_adds_linearly() {
+        let (txc, rxc) = paper_pair();
+        let near = run_e2e(&txc, &rxc, &greedy_workload(1, 4096, VcId::new(0, 32)), Duration::from_us(5));
+        let far = run_e2e(&txc, &rxc, &greedy_workload(1, 4096, VcId::new(0, 32)), Duration::from_ms(5));
+        let delta = far.latency_us.mean() - near.latency_us.mean();
+        assert!((delta - 4995.0).abs() < 1.0, "delta {delta}");
+    }
+
+    #[test]
+    fn latency_under_load_exceeds_unloaded() {
+        let (txc, rxc) = paper_pair();
+        let unloaded = run_e2e(&txc, &rxc, &greedy_workload(1, 9180, VcId::new(0, 32)), Duration::ZERO);
+        let loaded = run_e2e(&txc, &rxc, &greedy_workload(40, 9180, VcId::new(0, 32)), Duration::ZERO);
+        // Queueing: the mean latency of a deep backlog is far above one
+        // packet's pipeline latency (packets wait for the link).
+        assert!(
+            loaded.latency_us.mean() > 3.0 * unloaded.latency_us.mean(),
+            "loaded {} vs unloaded {}",
+            loaded.latency_us.mean(),
+            unloaded.latency_us.mean()
+        );
+        // And the max is near the whole transfer duration.
+        assert!(loaded.latency_us.max() > 10.0 * unloaded.latency_us.mean());
+    }
+
+    #[test]
+    fn e2e_conserves_packets_across_vcs() {
+        let (txc, rxc) = paper_pair();
+        let mut pkts = Vec::new();
+        for v in 0..6u16 {
+            for i in 0..5usize {
+                pkts.push(TxPacket {
+                    vc: VcId::new(0, 40 + v),
+                    len: 1000 + i * 500,
+                    arrival: Time::from_us((v as u64) * 7 + i as u64),
+                    pcr: None,
+                });
+            }
+        }
+        let r = run_e2e(&txc, &rxc, &pkts, Duration::from_us(25));
+        assert_eq!(r.delivered, 30);
+        assert_eq!(r.offered, 30);
+    }
+}

@@ -1,0 +1,133 @@
+//! Application traffic models.
+//!
+//! Sources produce `(time, length)` schedules the benchmark harness
+//! feeds to the transmit path or the host receive model. Three shapes
+//! cover the evaluation's workloads:
+//!
+//! * [`GreedySource`] — a bulk transfer: everything queued at t = 0
+//!   (throughput experiments);
+//! * [`CbrSource`] — constant bit rate, e.g. uncompressed or
+//!   rate-controlled video (pacing/jitter experiments);
+//! * [`PoissonSource`] — bursty request traffic (latency-under-load).
+
+use hni_sim::{Duration, Rng, Time};
+
+/// Bulk transfer: `count` packets of `len` octets, all available at t=0.
+#[derive(Clone, Copy, Debug)]
+pub struct GreedySource {
+    /// Number of packets.
+    pub count: usize,
+    /// Packet length, octets.
+    pub len: usize,
+}
+
+impl GreedySource {
+    /// The arrival schedule.
+    pub fn schedule(&self) -> Vec<(Time, usize)> {
+        (0..self.count).map(|_| (Time::ZERO, self.len)).collect()
+    }
+}
+
+/// Constant-bit-rate stream: fixed-size packets at fixed intervals.
+#[derive(Clone, Copy, Debug)]
+pub struct CbrSource {
+    /// Packet length, octets.
+    pub len: usize,
+    /// Stream rate in bits/second.
+    pub rate_bps: f64,
+    /// Stream duration.
+    pub duration: Duration,
+}
+
+impl CbrSource {
+    /// Interval between packets.
+    pub fn interval(&self) -> Duration {
+        Duration::from_s_f64(self.len as f64 * 8.0 / self.rate_bps)
+    }
+
+    /// The arrival schedule.
+    pub fn schedule(&self) -> Vec<(Time, usize)> {
+        let interval = self.interval();
+        let n = (self.duration.as_s_f64() / interval.as_s_f64()).floor() as usize;
+        (0..n)
+            .map(|i| (Time::ZERO + interval * i as u64, self.len))
+            .collect()
+    }
+}
+
+/// Poisson arrivals with exponentially distributed gaps.
+#[derive(Clone, Debug)]
+pub struct PoissonSource {
+    /// Packet length, octets.
+    pub len: usize,
+    /// Mean packets per second.
+    pub rate_pps: f64,
+    /// Number of packets to draw.
+    pub count: usize,
+}
+
+impl PoissonSource {
+    /// The arrival schedule (deterministic for a given RNG).
+    pub fn schedule(&self, rng: &mut Rng) -> Vec<(Time, usize)> {
+        let mut t = Time::ZERO;
+        (0..self.count)
+            .map(|_| {
+                let gap = rng.exponential(1.0 / self.rate_pps);
+                t += Duration::from_s_f64(gap);
+                (t, self.len)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_all_at_zero() {
+        let s = GreedySource { count: 5, len: 100 }.schedule();
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|&(t, l)| t == Time::ZERO && l == 100));
+    }
+
+    #[test]
+    fn cbr_spacing_and_rate() {
+        // 1500-octet packets at 12 Mb/s → 1 ms apart.
+        let src = CbrSource {
+            len: 1500,
+            rate_bps: 12e6,
+            duration: Duration::from_ms(10),
+        };
+        assert_eq!(src.interval(), Duration::from_ms(1));
+        let s = src.schedule();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[3].0, Time::from_ms(3));
+    }
+
+    #[test]
+    fn poisson_mean_rate_close() {
+        let src = PoissonSource {
+            len: 512,
+            rate_pps: 1000.0,
+            count: 20_000,
+        };
+        let mut rng = Rng::new(77);
+        let s = src.schedule(&mut rng);
+        let span = s.last().unwrap().0.as_s_f64();
+        let rate = s.len() as f64 / span;
+        assert!((rate - 1000.0).abs() < 30.0, "rate {rate}");
+        // Strictly increasing times.
+        for w in s.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    fn poisson_deterministic_per_seed() {
+        let src = PoissonSource { len: 1, rate_pps: 10.0, count: 100 };
+        let a = src.schedule(&mut Rng::new(5));
+        let b = src.schedule(&mut Rng::new(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,277 @@
+//! A point-to-point link model with fault injection.
+//!
+//! The link is payload-agnostic: callers hand it a *size in bits* and it
+//! answers with the unit's fate — when it finishes arriving at the far
+//! end, and which bit positions (if any) were inverted in flight. The
+//! caller owns the bytes and applies the corruption itself; this keeps the
+//! link reusable for cells, frames, and whole SONET rows.
+//!
+//! Fault injection follows the smoltcp example convention: independent
+//! per-unit loss probability plus a bit-error rate. Bit errors are drawn
+//! with geometric gap sampling, so a BER of 1e-9 costs O(errors), not
+//! O(bits).
+//!
+//! The link serializes: a unit cannot start transmitting before the
+//! previous one has finished (`next_free`). Propagation delay is added
+//! after serialization, classic `tx_time + prop` semantics.
+
+use crate::rng::Rng;
+use crate::time::{Duration, Time};
+
+/// Fault-injection parameters for a [`Link`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that a transmitted unit is lost entirely (e.g. a cell
+    /// discarded by a congested switch on the path this link abstracts).
+    pub loss_probability: f64,
+    /// Independent probability that any single bit is inverted in flight.
+    pub bit_error_rate: f64,
+}
+
+impl FaultSpec {
+    /// No faults at all.
+    pub const NONE: FaultSpec = FaultSpec {
+        loss_probability: 0.0,
+        bit_error_rate: 0.0,
+    };
+
+    /// Only whole-unit loss.
+    pub fn loss(p: f64) -> Self {
+        FaultSpec {
+            loss_probability: p,
+            bit_error_rate: 0.0,
+        }
+    }
+
+    /// Only bit errors.
+    pub fn ber(p: f64) -> Self {
+        FaultSpec {
+            loss_probability: 0.0,
+            bit_error_rate: p,
+        }
+    }
+}
+
+/// The fate of one transmitted unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkDelivery {
+    /// The unit arrives complete at `at`, with the listed bit positions
+    /// (0 = first bit on the wire) inverted. An empty list is a clean
+    /// delivery.
+    Delivered { at: Time, flipped_bits: Vec<u64> },
+    /// The unit was lost; it never arrives.
+    Lost,
+}
+
+/// A serializing point-to-point link with rate, propagation delay and
+/// fault injection.
+#[derive(Debug)]
+pub struct Link {
+    bits_per_second: f64,
+    propagation: Duration,
+    faults: FaultSpec,
+    rng: Rng,
+    next_free: Time,
+    sent_units: u64,
+    lost_units: u64,
+    flipped_bits: u64,
+}
+
+impl Link {
+    /// A link with the given line rate, one-way propagation delay, fault
+    /// model and RNG stream.
+    pub fn new(bits_per_second: f64, propagation: Duration, faults: FaultSpec, rng: Rng) -> Self {
+        assert!(bits_per_second > 0.0);
+        assert!((0.0..=1.0).contains(&faults.loss_probability));
+        assert!((0.0..=1.0).contains(&faults.bit_error_rate));
+        Link {
+            bits_per_second,
+            propagation,
+            faults,
+            rng,
+            next_free: Time::ZERO,
+            sent_units: 0,
+            lost_units: 0,
+            flipped_bits: 0,
+        }
+    }
+
+    /// Line rate in bits per second.
+    pub fn bits_per_second(&self) -> f64 {
+        self.bits_per_second
+    }
+
+    /// One-way propagation delay.
+    pub fn propagation(&self) -> Duration {
+        self.propagation
+    }
+
+    /// Earliest time the link can begin serializing another unit.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Transmit a unit of `bits` bits, offered at time `now`.
+    ///
+    /// Serialization begins at `max(now, next_free)`; the returned arrival
+    /// time is serialization end plus propagation delay. Loss and bit
+    /// errors are then drawn from the fault model.
+    pub fn send(&mut self, now: Time, bits: u64) -> LinkDelivery {
+        assert!(bits > 0, "cannot transmit a zero-length unit");
+        let start = now.max(self.next_free);
+        let ser = Duration::for_bits(bits, self.bits_per_second);
+        self.next_free = start + ser;
+        self.sent_units += 1;
+
+        if self.rng.chance(self.faults.loss_probability) {
+            self.lost_units += 1;
+            return LinkDelivery::Lost;
+        }
+
+        let mut flipped = Vec::new();
+        if self.faults.bit_error_rate > 0.0 {
+            // Geometric gap sampling across the unit's bits.
+            let mut pos: u64 = 0;
+            loop {
+                let gap = self.rng.geometric(self.faults.bit_error_rate);
+                pos = match pos.checked_add(gap) {
+                    Some(p) => p,
+                    None => break,
+                };
+                if pos > bits {
+                    break;
+                }
+                flipped.push(pos - 1);
+            }
+            self.flipped_bits += flipped.len() as u64;
+        }
+
+        LinkDelivery::Delivered {
+            at: self.next_free + self.propagation,
+            flipped_bits: flipped,
+        }
+    }
+
+    /// Units offered to the link so far.
+    pub fn sent_units(&self) -> u64 {
+        self.sent_units
+    }
+    /// Units the fault model destroyed.
+    pub fn lost_units(&self) -> u64 {
+        self.lost_units
+    }
+    /// Total bits the fault model inverted.
+    pub fn total_flipped_bits(&self) -> u64 {
+        self.flipped_bits
+    }
+}
+
+/// Apply a list of flipped bit positions (as returned by
+/// [`Link::send`]) to a byte buffer, MSB-first within each byte —
+/// matching the on-the-wire bit order of ATM/SONET.
+pub fn apply_bit_errors(buf: &mut [u8], flipped_bits: &[u64]) {
+    for &pos in flipped_bits {
+        let byte = (pos / 8) as usize;
+        if byte < buf.len() {
+            buf[byte] ^= 0x80 >> (pos % 8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(bps: f64, faults: FaultSpec) -> Link {
+        Link::new(bps, Duration::from_us(10), faults, Rng::new(1))
+    }
+
+    #[test]
+    fn clean_delivery_timing() {
+        let mut l = mk(1e9, FaultSpec::NONE); // 1 Gb/s
+        match l.send(Time::ZERO, 8000) {
+            LinkDelivery::Delivered { at, flipped_bits } => {
+                // 8000 bits at 1 Gb/s = 8 µs + 10 µs propagation.
+                assert_eq!(at, Time::from_us(18));
+                assert!(flipped_bits.is_empty());
+            }
+            LinkDelivery::Lost => panic!("should not lose"),
+        }
+    }
+
+    #[test]
+    fn serialization_backpressure() {
+        let mut l = mk(1e9, FaultSpec::NONE);
+        l.send(Time::ZERO, 8000); // occupies link until 8 µs
+        match l.send(Time::from_us(1), 8000) {
+            LinkDelivery::Delivered { at, .. } => {
+                // Starts at 8 µs, ser 8 µs, prop 10 µs.
+                assert_eq!(at, Time::from_us(26));
+            }
+            _ => panic!(),
+        }
+        assert_eq!(l.next_free(), Time::from_us(16));
+    }
+
+    #[test]
+    fn loss_rate_statistical() {
+        let mut l = mk(1e9, FaultSpec::loss(0.3));
+        let n = 20_000;
+        let mut lost = 0;
+        let mut t = Time::ZERO;
+        for _ in 0..n {
+            if matches!(l.send(t, 424), LinkDelivery::Lost) {
+                lost += 1;
+            }
+            t = l.next_free();
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate={rate}");
+        assert_eq!(l.lost_units(), lost);
+    }
+
+    #[test]
+    fn ber_statistical() {
+        let ber = 1e-3;
+        let mut l = mk(1e9, FaultSpec::ber(ber));
+        let bits_per_unit = 424;
+        let n = 50_000u64;
+        let mut flips = 0u64;
+        let mut t = Time::ZERO;
+        for _ in 0..n {
+            if let LinkDelivery::Delivered { flipped_bits, .. } = l.send(t, bits_per_unit) {
+                for &b in &flipped_bits {
+                    assert!(b < bits_per_unit);
+                }
+                flips += flipped_bits.len() as u64;
+            }
+            t = l.next_free();
+        }
+        let observed = flips as f64 / (n * bits_per_unit) as f64;
+        assert!(
+            (observed - ber).abs() / ber < 0.1,
+            "observed BER {observed} vs {ber}"
+        );
+    }
+
+    #[test]
+    fn apply_bit_errors_msb_first() {
+        let mut buf = [0u8; 2];
+        apply_bit_errors(&mut buf, &[0, 8, 15]);
+        assert_eq!(buf, [0x80, 0x81]);
+        // Out-of-range positions are ignored.
+        apply_bit_errors(&mut buf, &[100]);
+        assert_eq!(buf, [0x80, 0x81]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut l = Link::new(1e9, Duration::ZERO, FaultSpec::loss(0.5), Rng::new(99));
+            (0..100)
+                .map(|i| matches!(l.send(Time::from_us(i * 10), 424), LinkDelivery::Lost))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,163 @@
+//! Bounded FIFO with occupancy accounting and drop counting.
+//!
+//! Every queue in the NIC model — the cell FIFOs in front of the SONET
+//! framer, the descriptor queues, the DMA request queues — is one of
+//! these. Besides FIFO semantics it tracks exactly the statistics the
+//! paper's buffer-sizing discussion needs: time-weighted mean occupancy,
+//! peak occupancy, and how many entries were refused because the queue was
+//! full (in hardware: an overrun).
+
+use crate::stats::OccupancyTracker;
+use crate::time::Time;
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue instrumented with occupancy and drop statistics.
+#[derive(Debug)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    occupancy: OccupancyTracker,
+    drops: u64,
+    accepted: u64,
+}
+
+impl<T> BoundedFifo<T> {
+    /// A FIFO holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// If `capacity` is zero — a zero-length FIFO would silently drop
+    /// everything, which is never what a pipeline model means.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            occupancy: OccupancyTracker::new(),
+            drops: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Attempt to enqueue at simulated time `now`.
+    ///
+    /// Returns `Err(item)` (handing the item back) if the queue is full,
+    /// and counts the refusal as a drop. Callers that model *backpressure*
+    /// should check [`Self::is_full`] first and stall instead of pushing.
+    pub fn push(&mut self, now: Time, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.drops += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.accepted += 1;
+        self.occupancy.set(now, self.items.len() as u64);
+        Ok(())
+    }
+
+    /// Dequeue the oldest entry.
+    pub fn pop(&mut self, now: Time) -> Option<T> {
+        let item = self.items.pop_front()?;
+        self.occupancy.set(now, self.items.len() as u64);
+        Some(item)
+    }
+
+    /// Peek at the oldest entry without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Entries refused because the queue was full.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+    /// Entries successfully enqueued.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+    /// Highest occupancy ever reached.
+    pub fn peak_occupancy(&self) -> u64 {
+        self.occupancy.peak()
+    }
+    /// Time-weighted mean occupancy over `[0, end]`.
+    pub fn mean_occupancy(&self, end: Time) -> f64 {
+        self.occupancy.mean(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedFifo::new(4);
+        let t = Time::ZERO;
+        q.push(t, 1).unwrap();
+        q.push(t, 2).unwrap();
+        q.push(t, 3).unwrap();
+        assert_eq!(q.pop(t), Some(1));
+        assert_eq!(q.pop(t), Some(2));
+        assert_eq!(q.pop(t), Some(3));
+        assert_eq!(q.pop(t), None);
+    }
+
+    #[test]
+    fn full_queue_refuses_and_counts() {
+        let mut q = BoundedFifo::new(2);
+        let t = Time::ZERO;
+        q.push(t, 'a').unwrap();
+        q.push(t, 'b').unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push(t, 'c'), Err('c'));
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.accepted(), 2);
+    }
+
+    #[test]
+    fn occupancy_tracked() {
+        let mut q = BoundedFifo::new(8);
+        q.push(Time::ZERO, ()).unwrap();
+        q.push(Time::ZERO, ()).unwrap();
+        q.pop(Time::from_us(1));
+        assert_eq!(q.peak_occupancy(), 2);
+        // 2 for 1µs, then 1 for 1µs → mean 1.5 over 2µs
+        let mean = q.mean_occupancy(Time::from_us(2));
+        assert!((mean - 1.5).abs() < 1e-9, "mean={mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedFifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn front_peeks() {
+        let mut q = BoundedFifo::new(2);
+        q.push(Time::ZERO, 9).unwrap();
+        assert_eq!(q.front(), Some(&9));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.free(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! A hand-rolled **xoshiro256\*\*** generator seeded through SplitMix64.
+//! We implement it locally (rather than pulling `rand`) so that the random
+//! stream — and therefore every simulation result in EXPERIMENTS.md — can
+//! never change underneath us with a dependency upgrade. The algorithm is
+//! public domain (Blackman & Vigna, 2018).
+
+/// Deterministic PRNG (xoshiro256**) with convenience samplers.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    ///
+    /// The full 256-bit state is expanded from the seed with SplitMix64,
+    /// per the xoshiro authors' recommendation, so nearby seeds give
+    /// uncorrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Rng { s }
+    }
+
+    /// Next raw 64 bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift with rejection, so the distribution is
+    /// exactly uniform. Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Lemire 2019: unbiased bounded generation.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Sample a geometric "number of successes before failure"-style gap:
+    /// the number of Bernoulli(p) trials *until and including* the first
+    /// success, i.e. a value in `1..`. Used to skip ahead over bit positions
+    /// when injecting rare bit errors instead of rolling per bit.
+    ///
+    /// For `p` very small this is exponentially faster than per-trial
+    /// sampling and produces the same distribution.
+    #[inline]
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric needs p in (0,1]");
+        if p >= 1.0 {
+            return 1;
+        }
+        let u = self.f64().max(f64::MIN_POSITIVE); // avoid ln(0)
+        let g = (u.ln() / (1.0 - p).ln()).floor() as u64;
+        g + 1
+    }
+
+    /// Exponentially distributed value with the given mean.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0);
+        let u = self.f64().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Fork an independent generator, advancing this one.
+    ///
+    /// Components get their own forked stream so that adding a sampler to
+    /// one component does not perturb another component's randomness.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_bounded_and_covers() {
+        let mut r = Rng::new(9);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let x = r.below(10) as usize;
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = Rng::new(11);
+        for _ in 0..1000 {
+            let x = r.range(5, 7);
+            assert!((5..=7).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(13);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_frequency_close() {
+        let mut r = Rng::new(17);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.25)).count() as f64;
+        let freq = hits / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn geometric_mean_close() {
+        let mut r = Rng::new(19);
+        let p = 0.01;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.geometric(p) as f64).sum::<f64>() / n as f64;
+        // Mean of this geometric is 1/p = 100.
+        assert!((mean - 100.0).abs() < 5.0, "mean={mean}");
+    }
+
+    #[test]
+    fn geometric_p1_is_always_1() {
+        let mut r = Rng::new(23);
+        for _ in 0..100 {
+            assert_eq!(r.geometric(1.0), 1);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = Rng::new(29);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        for _ in 0..100 {
+            assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+        // Parent advanced identically too.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(31);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+}

@@ -1,0 +1,523 @@
+//! Statistics collectors for simulations.
+//!
+//! Everything here is O(1) per sample and fixed-size, so instrumentation
+//! never changes the asymptotics of a simulation. The collectors:
+//!
+//! * [`Counter`] — events and bytes.
+//! * [`Summary`] — running min/max/mean/variance (Welford).
+//! * [`Histogram`] — log₂-bucketed latency histogram with quantile queries.
+//! * [`RateMeter`] — converts byte/cell counts over simulated time to bit/s.
+//! * [`OccupancyTracker`] — time-weighted queue-occupancy statistics
+//!   (mean and peak), the quantity FIFO-sizing decisions are made from.
+
+use crate::time::{Duration, Time};
+use core::fmt;
+
+/// A simple event/byte counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    events: u64,
+    bytes: u64,
+}
+
+impl Counter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Record one event carrying `bytes` bytes.
+    #[inline]
+    pub fn add(&mut self, bytes: u64) {
+        self.events += 1;
+        self.bytes += bytes;
+    }
+    /// Record one event with no byte count.
+    #[inline]
+    pub fn bump(&mut self) {
+        self.events += 1;
+    }
+    /// Number of events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Running min / max / mean / variance over `f64` samples (Welford's
+/// single-pass algorithm, numerically stable).
+#[derive(Clone, Debug)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        // NOT derived: min/max must start at ±∞, not 0, or the first
+        // sample would never register as an extreme.
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// New empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record a sample.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Record a duration sample in microseconds (the unit the paper's
+    /// delay analysis reports).
+    #[inline]
+    pub fn record_us(&mut self, d: Duration) {
+        self.record(d.as_us_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Number of log₂ buckets in [`Histogram`]: values 0..2⁶³ are covered.
+const HIST_BUCKETS: usize = 64;
+
+/// Log₂-bucketed histogram of `u64` samples (typically picoseconds).
+///
+/// Bucket `i` holds samples whose value `v` satisfies `⌊log₂ v⌋ == i`
+/// (bucket 0 additionally holds `v == 0`). Quantile queries return the
+/// upper bound of the bucket containing the requested rank, i.e. they are
+/// exact to within a factor of 2 — adequate for the order-of-magnitude
+/// latency-tail questions the experiments ask, at constant memory.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record a sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+    }
+
+    /// Record a duration (in picoseconds).
+    #[inline]
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_ps());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean of samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0,1]`). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i.
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram {{ n: {}, mean: {:.1}, p50≤{}, p99≤{} }}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99)
+        )
+    }
+}
+
+/// Converts counted bytes (or cells) over simulated time into rates.
+#[derive(Clone, Debug, Default)]
+pub struct RateMeter {
+    bytes: u64,
+    units: u64,
+    started: Option<Time>,
+    last: Time,
+}
+
+impl RateMeter {
+    /// New meter; the window opens at the first record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` observed at simulated time `now`.
+    #[inline]
+    pub fn record(&mut self, now: Time, bytes: u64) {
+        if self.started.is_none() {
+            self.started = Some(now);
+        }
+        self.bytes += bytes;
+        self.units += 1;
+        self.last = now;
+    }
+
+    /// Total bytes observed.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+    /// Total units (packets / cells) observed.
+    pub fn units(&self) -> u64 {
+        self.units
+    }
+
+    /// Mean rate in bits/second over `[first record, end]`.
+    ///
+    /// `end` is supplied by the caller (usually the simulation end time) so
+    /// that quiet tails count against the rate.
+    pub fn bits_per_second(&self, end: Time) -> f64 {
+        match self.started {
+            None => 0.0,
+            Some(t0) => {
+                let span = end.saturating_since(t0).as_s_f64();
+                if span <= 0.0 {
+                    0.0
+                } else {
+                    (self.bytes as f64 * 8.0) / span
+                }
+            }
+        }
+    }
+
+    /// Mean unit rate (packets or cells per second) over `[first record, end]`.
+    pub fn units_per_second(&self, end: Time) -> f64 {
+        match self.started {
+            None => 0.0,
+            Some(t0) => {
+                let span = end.saturating_since(t0).as_s_f64();
+                if span <= 0.0 {
+                    0.0
+                } else {
+                    self.units as f64 / span
+                }
+            }
+        }
+    }
+}
+
+/// Time-weighted occupancy statistics for a queue or buffer pool.
+///
+/// Feed it every occupancy change; it integrates occupancy over time to
+/// give the true time-average, plus the peak — the two numbers buffer
+/// sizing is done from.
+#[derive(Clone, Debug, Default)]
+pub struct OccupancyTracker {
+    current: u64,
+    peak: u64,
+    weighted_area: u128, // Σ occupancy · dt(ps)
+    last_change: Time,
+    started: bool,
+}
+
+impl OccupancyTracker {
+    /// New tracker at occupancy 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn integrate(&mut self, now: Time) {
+        if self.started {
+            let dt = now.saturating_since(self.last_change).as_ps();
+            self.weighted_area += self.current as u128 * dt as u128;
+        }
+        self.started = true;
+        self.last_change = now;
+    }
+
+    /// Set occupancy to an absolute value at time `now`.
+    pub fn set(&mut self, now: Time, occupancy: u64) {
+        self.integrate(now);
+        self.current = occupancy;
+        if occupancy > self.peak {
+            self.peak = occupancy;
+        }
+    }
+
+    /// Increase occupancy by `n` at time `now`.
+    pub fn add(&mut self, now: Time, n: u64) {
+        let c = self.current + n;
+        self.set(now, c);
+    }
+
+    /// Decrease occupancy by `n` at time `now` (saturating).
+    pub fn remove(&mut self, now: Time, n: u64) {
+        let c = self.current.saturating_sub(n);
+        self.set(now, c);
+    }
+
+    /// Current occupancy.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+    /// Highest occupancy ever seen.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Time-weighted mean occupancy over `[first change, end]`.
+    pub fn mean(&self, end: Time) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        let tail = end.saturating_since(self.last_change).as_ps();
+        let area = self.weighted_area + self.current as u128 * tail as u128;
+        let span = end.saturating_since(Time::ZERO).as_ps();
+        // Mean is over the whole simulation from t=0; a tracker that first
+        // changes late simply averages in its implicit zero prefix, which
+        // is the honest accounting for buffer sizing.
+        if span == 0 {
+            self.current as f64
+        } else {
+            area as f64 / span as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.add(100);
+        c.add(200);
+        c.bump();
+        assert_eq!(c.events(), 3);
+        assert_eq!(c.bytes(), 300);
+    }
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_default_equals_new() {
+        // Regression: a derived Default once zero-initialized min/max,
+        // so summaries built via `or_default()` reported min = 0 forever.
+        let mut s = Summary::default();
+        s.record(42.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn histogram_quantile_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket ⌊log2 100⌋ = 6, upper bound 127
+        }
+        h.record(1_000_000); // bucket 19, upper bound 2^20-1
+        assert_eq!(h.quantile(0.5), 127);
+        assert!(h.quantile(0.999) >= 1_000_000);
+        assert!(h.quantile(0.999) < 2_097_152);
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 1); // bucket 0 upper bound = 1
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_bps() {
+        let mut m = RateMeter::new();
+        m.record(Time::ZERO, 125); // 1000 bits
+        m.record(Time::from_us(1), 125);
+        // 2000 bits over 2 µs window (t0=0, end=2µs) = 1 Gb/s
+        let bps = m.bits_per_second(Time::from_us(2));
+        assert!((bps - 1e9).abs() / 1e9 < 1e-12, "bps={bps}");
+        assert!((m.units_per_second(Time::from_us(2)) - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_meter_empty() {
+        let m = RateMeter::new();
+        assert_eq!(m.bits_per_second(Time::from_s(1)), 0.0);
+    }
+
+    #[test]
+    fn occupancy_time_weighted_mean() {
+        let mut o = OccupancyTracker::new();
+        o.set(Time::ZERO, 10);
+        o.set(Time::from_us(1), 0);
+        // 10 for 1µs, 0 for 1µs → mean 5 over 2µs.
+        let mean = o.mean(Time::from_us(2));
+        assert!((mean - 5.0).abs() < 1e-9, "mean={mean}");
+        assert_eq!(o.peak(), 10);
+    }
+
+    #[test]
+    fn occupancy_add_remove() {
+        let mut o = OccupancyTracker::new();
+        o.add(Time::ZERO, 3);
+        o.add(Time::from_ns(10), 2);
+        o.remove(Time::from_ns(20), 4);
+        assert_eq!(o.current(), 1);
+        assert_eq!(o.peak(), 5);
+        o.remove(Time::from_ns(30), 10);
+        assert_eq!(o.current(), 0, "saturates at zero");
+    }
+}

@@ -1,0 +1,30 @@
+//! # hni-switch — the ATM network between the host interfaces
+//!
+//! A host interface never sees the network's insides; it sees their
+//! *consequences* — cells delayed in switch buffers and cells missing
+//! because those buffers overflowed. The loss experiments (R-F5)
+//! postulate an i.i.d. cell-loss process; this crate supplies the thing
+//! that actually produces such losses, so the postulate can be checked:
+//! an **output-queued ATM cell switch** with
+//!
+//! * per-(input port, VC) routing with **VPI/VCI translation** — labels
+//!   are link-local in ATM, rewritten hop by hop;
+//! * per-output-port FIFO queues drained at the output line's cell
+//!   rate;
+//! * **CLP-aware discard**: above a configurable queue threshold,
+//!   cells marked discard-eligible (CLP = 1) are dropped first — the
+//!   era's standard two-level space priority;
+//! * full accounting: per-port offered/carried/dropped, queue
+//!   occupancy statistics, unroutable-cell counts.
+//!
+//! The model is cell-synchronous output queueing: arrivals within one
+//! slot go straight to their output queue (the fabric itself is
+//! non-blocking, as output-queued fabrics are by construction); each
+//! output drains one cell per slot. That is the textbook model whose
+//! loss behaviour the era's analyses assumed.
+
+pub mod fabric;
+pub mod linecard;
+
+pub use fabric::{PortStats, RouteEntry, Switch, SwitchConfig};
+pub use linecard::{LineCard, SwitchNode};

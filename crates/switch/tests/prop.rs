@@ -1,0 +1,127 @@
+//! Property-based tests for the switch fabric.
+
+use hni_atm::{Cell, HeaderRepr, VcId, PAYLOAD_SIZE};
+use hni_sim::Time;
+use hni_switch::{RouteEntry, Switch, SwitchConfig};
+use proptest::prelude::*;
+
+fn data_cell(vc: VcId, seq: u32, clp: bool) -> Cell {
+    let mut payload = [0u8; PAYLOAD_SIZE];
+    payload[..4].copy_from_slice(&seq.to_be_bytes());
+    let h = HeaderRepr {
+        clp,
+        ..HeaderRepr::data(vc, false)
+    };
+    Cell::new(&h, &payload).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation per port: offered = carried + dropped + still queued,
+    /// under any interleaving of offers and pulls.
+    #[test]
+    fn conservation(
+        queue in 1usize..32,
+        clp_frac in 0usize..=100,
+        ops in proptest::collection::vec((any::<bool>(), 0u8..4, any::<bool>()), 1..500),
+    ) {
+        let mut sw = Switch::new(SwitchConfig {
+            ports: 4,
+            output_queue_cells: queue,
+            clp_threshold: (queue * clp_frac / 100).min(queue),
+            efci_threshold: queue,
+        });
+        // Route VC (0, 100+i) from input i to output (i+1)%4.
+        for i in 0..4usize {
+            sw.add_route(
+                i,
+                VcId::new(0, 100 + i as u16),
+                RouteEntry { out_port: (i + 1) % 4, out_vc: VcId::new(0, 200 + i as u16) },
+            );
+        }
+        let mut seq = 0u32;
+        for (is_offer, port, clp) in ops {
+            let port = port as usize;
+            if is_offer {
+                let _ = sw.offer(port, &data_cell(VcId::new(0, 100 + port as u16), seq, clp), Time::ZERO);
+                seq += 1;
+            } else {
+                let _ = sw.pull(port, Time::ZERO);
+            }
+        }
+        for p in 0..4 {
+            let st = sw.port_stats(p);
+            prop_assert_eq!(
+                st.offered,
+                st.carried + st.dropped_full + st.dropped_clp + sw.queue_len(p) as u64,
+                "port {} conservation", p
+            );
+            prop_assert!(sw.queue_len(p) <= queue);
+        }
+        prop_assert_eq!(sw.unroutable(), 0);
+    }
+
+    /// FIFO order and label translation survive any offer/pull pattern:
+    /// pulled sequence numbers per output are strictly increasing, labels
+    /// always rewritten, payloads intact.
+    #[test]
+    fn order_and_translation(pulls_between in 0usize..4, n in 1usize..100) {
+        let mut sw = Switch::new(SwitchConfig {
+            ports: 2,
+            output_queue_cells: 4096,
+            clp_threshold: 4096,
+            efci_threshold: 4096,
+        });
+        let in_vc = VcId::new(1, 40);
+        let out_vc = VcId::new(9, 900);
+        sw.add_route(0, in_vc, RouteEntry { out_port: 1, out_vc });
+        let mut pulled: Vec<u32> = Vec::new();
+        for seq in 0..n as u32 {
+            prop_assert!(sw.offer(0, &data_cell(in_vc, seq, false), Time::ZERO));
+            for _ in 0..pulls_between {
+                if let Some(c) = sw.pull(1, Time::ZERO) {
+                    let h = c.header().unwrap();
+                    prop_assert_eq!(h.vc(), out_vc);
+                    let got = u32::from_be_bytes([
+                        c.payload()[0], c.payload()[1], c.payload()[2], c.payload()[3],
+                    ]);
+                    pulled.push(got);
+                }
+            }
+        }
+        while let Some(c) = sw.pull(1, Time::ZERO) {
+            let got = u32::from_be_bytes([
+                c.payload()[0], c.payload()[1], c.payload()[2], c.payload()[3],
+            ]);
+            pulled.push(got);
+        }
+        prop_assert_eq!(pulled.len(), n);
+        for (i, &s) in pulled.iter().enumerate() {
+            prop_assert_eq!(s, i as u32, "FIFO order violated");
+        }
+    }
+
+    /// CLP=0 cells are never dropped while the queue is below capacity,
+    /// regardless of the CLP threshold.
+    #[test]
+    fn clp0_protected_until_full(queue in 2usize..32, thr_frac in 0usize..=100) {
+        let mut sw = Switch::new(SwitchConfig {
+            ports: 2,
+            output_queue_cells: queue,
+            clp_threshold: (queue * thr_frac / 100).min(queue),
+            efci_threshold: queue,
+        });
+        let vc = VcId::new(0, 32);
+        sw.add_route(0, vc, RouteEntry { out_port: 1, out_vc: vc });
+        for seq in 0..queue as u32 {
+            prop_assert!(
+                sw.offer(0, &data_cell(vc, seq, false), Time::ZERO),
+                "CLP=0 cell refused below capacity"
+            );
+        }
+        prop_assert!(!sw.offer(0, &data_cell(vc, 999, false), Time::ZERO));
+        prop_assert_eq!(sw.port_stats(1).dropped_clp, 0);
+        prop_assert_eq!(sw.port_stats(1).dropped_full, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Circuit emulation: an AAL1 constant-bit-rate stream crossing a
+//! congested ATM switch.
+//!
+//! ```text
+//! cargo run -p hni-bench --example circuit_emulation --release
+//! ```
+//!
+//! A "video feed" is segmented with AAL1 (47 stream octets per cell, a
+//! sequence count protected by CRC-3 + parity) and switched through an
+//! output port it shares with a bursty bulk source. The switch's
+//! CLP-aware discard drops the bulk (CLP=1) traffic first; whatever CBR
+//! cells are lost anyway are *detected* by the AAL1 sequence count and
+//! replaced with fill so the stream never loses its timing skeleton —
+//! recovery by concealment, not retransmission, which is the whole CBR
+//! philosophy.
+
+use hni_aal::aal1::{Aal1Receiver, Aal1Segmenter, PAYLOAD_PER_CELL};
+use hni_atm::{Cell, HeaderRepr, VcId, PAYLOAD_SIZE};
+use hni_sim::{Rng, Time};
+use hni_switch::{RouteEntry, Switch, SwitchConfig};
+
+fn main() {
+    let video_vc = VcId::new(0, 400);
+    let bulk_vc = VcId::new(0, 401);
+
+    let mut sw = Switch::new(SwitchConfig {
+        ports: 2,
+        output_queue_cells: 16,
+        clp_threshold: 10,
+        efci_threshold: 8,
+    });
+    sw.add_route(0, video_vc, RouteEntry { out_port: 1, out_vc: video_vc });
+    sw.add_route(0, bulk_vc, RouteEntry { out_port: 1, out_vc: bulk_vc });
+
+    // The feed: a deterministic "signal" we can compare octet-exactly.
+    let signal: Vec<u8> = (0..PAYLOAD_PER_CELL * 4000)
+        .map(|i| (((i as f64) * 0.05).sin() * 100.0 + 128.0) as u8)
+        .collect();
+    let mut seg = Aal1Segmenter::new(video_vc);
+    let mut video_cells = Vec::new();
+    seg.push(&signal, &mut video_cells);
+
+    let mut rx = Aal1Receiver::new();
+    rx.fill_octet = 0x80; // mid-scale "grey"
+
+    // Slot-synchronous run: the video emits one cell every 2nd slot
+    // (half the line); the bulk source bursts hard — half its cells
+    // CLP=1 (discard-eligible), half CLP=0 (it paid for priority too),
+    // so the queue genuinely fills and the video takes some losses.
+    let mut rng = Rng::new(77);
+    let bulk_payload = [0u8; PAYLOAD_SIZE];
+    let mut bulk_on = false;
+    let mut now = Time::ZERO;
+    let mut vi = 0;
+    let mut slot_idx: u64 = 0;
+    let mut bulk_offered = 0u64;
+    while vi < video_cells.len() {
+        // Within a slot the two inputs' cells hit the fabric in an
+        // arbitrary order — don't let the loop's order shield anyone.
+        let video_first = rng.chance(0.5);
+        let offer_video = |sw: &mut Switch, vi: &mut usize| {
+            if slot_idx.is_multiple_of(2) && *vi < video_cells.len() {
+                sw.offer(0, &video_cells[*vi], now);
+                *vi += 1;
+            }
+        };
+        let offer_bulk = |sw: &mut Switch, rng: &mut Rng, bulk_on: &mut bool, bulk_offered: &mut u64| {
+            // Bulk: on/off bursts at mean length 30, duty ~2/3 of slots.
+            if *bulk_on {
+                let header = HeaderRepr {
+                    clp: rng.chance(0.5),
+                    ..HeaderRepr::data(bulk_vc, false)
+                };
+                let cell = Cell::new(&header, &bulk_payload).unwrap();
+                *bulk_offered += 1;
+                sw.offer(0, &cell, now);
+                if rng.chance(1.0 / 30.0) {
+                    *bulk_on = false;
+                }
+            } else if rng.chance(1.0 / 15.0) {
+                *bulk_on = true;
+            }
+        };
+        if video_first {
+            offer_video(&mut sw, &mut vi);
+            offer_bulk(&mut sw, &mut rng, &mut bulk_on, &mut bulk_offered);
+        } else {
+            offer_bulk(&mut sw, &mut rng, &mut bulk_on, &mut bulk_offered);
+            offer_video(&mut sw, &mut vi);
+        }
+        // Output drains one cell per slot; demultiplex by VC.
+        if let Some(cell) = sw.pull(1, now) {
+            if cell.header().unwrap().vc() == video_vc {
+                rx.push(&cell);
+            }
+        }
+        now += hni_sim::Duration::from_ns(708);
+        slot_idx += 1;
+    }
+    // Drain the residue.
+    while let Some(cell) = sw.pull(1, now) {
+        if cell.header().unwrap().vc() == video_vc {
+            rx.push(&cell);
+        }
+    }
+
+    let stats = sw.port_stats(1);
+    println!("switch output port:");
+    println!(
+        "  offered {} (video {} + bulk {bulk_offered} cells), carried {}, dropped full {}, dropped CLP {}",
+        stats.offered,
+        video_cells.len(),
+        stats.carried,
+        stats.dropped_full,
+        stats.dropped_clp,
+    );
+    println!(
+        "  peak queue {} cells (capacity 16, CLP threshold 10)",
+        sw.peak_queue(1)
+    );
+
+    let events = rx.take_events();
+    let stream = rx.take_stream();
+    println!("\nAAL1 receiver:");
+    println!(
+        "  cells ok {}, inferred lost {}, damaged {}",
+        rx.cells_ok(),
+        rx.cells_lost(),
+        rx.cells_damaged()
+    );
+    println!("  loss events: {}", events.len());
+    println!(
+        "  stream length {} octets (sent {}) — timing skeleton {}",
+        stream.len(),
+        signal.len(),
+        if stream.len() == signal.len() { "PRESERVED" } else { "BROKEN" },
+    );
+    let intact = stream
+        .iter()
+        .zip(&signal)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "  {:.2}% of octets delivered exactly; the rest concealed with fill",
+        intact as f64 / signal.len() as f64 * 100.0
+    );
+    assert_eq!(stream.len(), signal.len());
+    println!(
+        "\nReading: CLP priority makes the bulk traffic absorb {} drops so the\n\
+         video loses only {} cells; AAL1's sequence count converts those losses\n\
+         into bounded, positioned concealment instead of stream corruption.",
+        stats.dropped_clp, rx.cells_lost(),
+    );
+}

@@ -1,0 +1,140 @@
+//! Closed-loop congestion avoidance from EFCI marks — the mechanism
+//! that later grew into ABR.
+//!
+//! ```text
+//! cargo run -p hni-bench --example congestion_feedback --release
+//! ```
+//!
+//! An adaptive source shares a switch output with a fixed 40%-load
+//! background stream. The switch sets the EFCI (congestion experienced)
+//! bit on cells departing a deep queue; the receiver reports the marked
+//! fraction back each round trip, and the source applies AIMD: multiply
+//! its rate down when marks exceed a threshold, add a small increment
+//! otherwise. Compare against a fixed greedy source that just fills the
+//! queue and loses cells.
+
+use hni_atm::{Cell, HeaderRepr, Pti, VcId, PAYLOAD_SIZE};
+use hni_sim::Time;
+use hni_switch::{RouteEntry, Switch, SwitchConfig};
+
+const SLOTS: usize = 120_000;
+const RTT_SLOTS: usize = 600; // feedback delay: marks observed one "RTT" later
+const BACKGROUND_LOAD: f64 = 0.40;
+
+struct RoundResult {
+    carried: u64,
+    dropped: u64,
+    marked_fraction_history: Vec<f64>,
+    final_rate: f64,
+    peak_queue: u64,
+}
+
+/// Run the shared queue for `SLOTS` slots with the adaptive source
+/// enabled (`adaptive`) or pinned at rate 0.9 (greedy).
+fn run(adaptive: bool) -> RoundResult {
+    let mut sw = Switch::new(SwitchConfig {
+        ports: 2,
+        output_queue_cells: 64,
+        clp_threshold: 64, // no space priority: everyone equal
+        efci_threshold: 24,
+    });
+    let src_vc = VcId::new(0, 500);
+    let bg_vc = VcId::new(0, 501);
+    sw.add_route(0, src_vc, RouteEntry { out_port: 1, out_vc: src_vc });
+    sw.add_route(0, bg_vc, RouteEntry { out_port: 1, out_vc: bg_vc });
+
+    let payload = [0u8; PAYLOAD_SIZE];
+    let mut rate: f64 = if adaptive { 0.10 } else { 0.90 };
+    let mut credit = 0.0f64;
+    let mut bg_credit = 0.0f64;
+
+    // Per-round mark accounting, applied after an RTT's delay.
+    let mut marked_in_round = 0u64;
+    let mut seen_in_round = 0u64;
+    let mut history = Vec::new();
+    let mut offered_src = 0u64;
+
+    for slot in 0..SLOTS {
+        // Background stream: fixed load, smooth.
+        bg_credit += BACKGROUND_LOAD;
+        if bg_credit >= 1.0 {
+            bg_credit -= 1.0;
+            sw.offer(0, &Cell::new(&HeaderRepr::data(bg_vc, false), &payload).unwrap(), Time::ZERO);
+        }
+        // Adaptive source.
+        credit += rate;
+        if credit >= 1.0 {
+            credit -= 1.0;
+            offered_src += 1;
+            sw.offer(0, &Cell::new(&HeaderRepr::data(src_vc, false), &payload).unwrap(), Time::ZERO);
+        }
+        // Drain one slot; the "receiver" observes EFCI on the source's VC.
+        if let Some(cell) = sw.pull(1, Time::ZERO) {
+            let h = cell.header().unwrap();
+            if h.vc() == src_vc {
+                seen_in_round += 1;
+                if matches!(h.pti, Pti::UserData { congestion: true, .. }) {
+                    marked_in_round += 1;
+                }
+            }
+        }
+        // Every RTT, feedback reaches the source.
+        if adaptive && slot % RTT_SLOTS == RTT_SLOTS - 1 && seen_in_round > 0 {
+            let frac = marked_in_round as f64 / seen_in_round as f64;
+            history.push(frac);
+            if frac > 0.1 {
+                rate = (rate * 0.85).max(0.01); // multiplicative decrease
+            } else {
+                rate = (rate + 0.01).min(1.0); // additive increase
+            }
+            marked_in_round = 0;
+            seen_in_round = 0;
+        }
+    }
+    let st = sw.port_stats(1);
+    let _ = offered_src;
+    RoundResult {
+        carried: st.carried,
+        dropped: st.dropped_full + st.dropped_clp,
+        marked_fraction_history: history,
+        final_rate: rate,
+        peak_queue: sw.peak_queue(1),
+    }
+}
+
+fn main() {
+    println!("shared 64-cell output queue, EFCI threshold 24, background load 40%\n");
+    let fixed = run(false);
+    println!("fixed source at rate 0.90 (total offered load 1.30):");
+    println!(
+        "  carried {} cells, DROPPED {} cells, peak queue {}",
+        fixed.carried, fixed.dropped, fixed.peak_queue
+    );
+    let adaptive = run(true);
+    println!("\nAIMD source driven by EFCI marks (RTT = 600 slots):");
+    println!(
+        "  carried {} cells, dropped {} cells, peak queue {}",
+        adaptive.carried, adaptive.dropped, adaptive.peak_queue
+    );
+    println!(
+        "  converged rate ≈ {:.2} (available capacity = {:.2})",
+        adaptive.final_rate,
+        1.0 - BACKGROUND_LOAD
+    );
+    let tail: Vec<String> = adaptive
+        .marked_fraction_history
+        .iter()
+        .rev()
+        .take(8)
+        .rev()
+        .map(|f| format!("{:.0}%", f * 100.0))
+        .collect();
+    println!("  EFCI-marked fraction, last rounds: {}", tail.join(" "));
+    println!(
+        "\nReading: the fixed source overruns the queue and loses {} cells;\n\
+         the adaptive source oscillates around the spare capacity (~0.6),\n\
+         keeps the queue under the EFCI threshold most of the time, and\n\
+         loses {} — congestion *avoidance* out of one header bit.",
+        fixed.dropped, adaptive.dropped
+    );
+}

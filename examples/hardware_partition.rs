@@ -1,0 +1,81 @@
+//! The design-space walk: how much hardware does 622 Mb/s actually need?
+//!
+//! ```text
+//! cargo run -p hni-bench --example hardware_partition --release
+//! ```
+//!
+//! Starts from an all-software interface and moves one task at a time
+//! into hardware, in descending order of per-cell cost, printing the
+//! receive-path verdict after each step — an ablation of the paper's
+//! partition decision.
+
+use hni_core::engine::{HwPartition, ProtocolEngine, TaskCosts, TaskKind};
+use hni_sonet::LineRate;
+
+/// Build a partition with exactly `hw` tasks in hardware.
+fn partition_with(hw: &[TaskKind]) -> HwPartition {
+    // HwPartition's public constructors are the three presets; compose
+    // via paper_split as a template when it matches, otherwise rebuild
+    // from scratch through the public API.
+    let mut p = HwPartition::all_software();
+    for &t in hw {
+        p = p.plus_hardware(t);
+    }
+    p
+}
+
+fn main() {
+    let mips = 25.0;
+    let rate = LineRate::Oc12;
+    let slot_rate = rate.cell_slots_per_second();
+    let costs = TaskCosts::default();
+
+    // Receive-side per-cell tasks, most expensive first.
+    let mut rx_cell_tasks: Vec<TaskKind> = TaskKind::ALL
+        .into_iter()
+        .filter(|t| t.is_per_cell() && !t.is_tx())
+        .collect();
+    rx_cell_tasks.sort_by_key(|&t| std::cmp::Reverse(costs.instructions(t)));
+
+    println!(
+        "OC-12 payload slot rate: {:.0} cells/s — the receive engine must match it.\n",
+        slot_rate
+    );
+    println!(
+        "{:<44}  {:>12}  {:>14}  {:>8}",
+        "hardware assists", "instr/cell", "max cells/s", "keeps up"
+    );
+
+    let mut hw: Vec<TaskKind> = Vec::new();
+    loop {
+        let p = partition_with(&hw);
+        let engine = ProtocolEngine::new(mips, p);
+        let instr = engine.rx_per_cell_instructions();
+        let max = if instr == 0 {
+            f64::INFINITY
+        } else {
+            mips * 1e6 / instr as f64
+        };
+        let label = if hw.is_empty() {
+            "(none — all software)".to_string()
+        } else {
+            hw.iter().map(|t| t.label()).collect::<Vec<_>>().join(" + ")
+        };
+        println!(
+            "{label:<44}  {instr:>12}  {max:>14.0}  {:>8}",
+            if max >= slot_rate { "YES" } else { "no" }
+        );
+        match rx_cell_tasks.first() {
+            Some(&next) => {
+                hw.push(next);
+                rx_cell_tasks.remove(0);
+            }
+            None => break,
+        }
+    }
+    println!(
+        "\nReading: moving the CRC into hardware does most of the work; adding the\n\
+         VCI CAM closes the gap. List management alone (15 instr) fits the 17.7-\n\
+         instruction OC-12 budget — exactly the paper's partition."
+    );
+}

@@ -1,0 +1,58 @@
+//! Throughput sweep: the R-F1 experiment as a runnable example.
+//!
+//! ```text
+//! cargo run -p hni-bench --example throughput_sweep --release
+//! ```
+//!
+//! Sweeps packet size for each hardware/software partition at OC-3 and
+//! OC-12, printing simulated goodput next to the analytic bound and the
+//! predicted bottleneck — the figure at the heart of the architecture's
+//! case.
+
+use hni_analysis::throughput::predict_tx;
+use hni_atm::VcId;
+use hni_core::engine::HwPartition;
+use hni_core::txsim::{greedy_workload, run_tx, TxConfig};
+use hni_sonet::LineRate;
+
+fn main() {
+    let sizes = [64usize, 256, 1024, 4096, 9180, 32768, 65000];
+    for rate in [LineRate::Oc3, LineRate::Oc12] {
+        println!(
+            "\n=== {rate:?}: line {:.2} Mb/s, payload {:.2} Mb/s, cell slot {} ===",
+            rate.line_bps() / 1e6,
+            rate.payload_bps() / 1e6,
+            rate.cell_slot_time(),
+        );
+        for partition in [
+            HwPartition::all_software(),
+            HwPartition::paper_split(),
+            HwPartition::full_hardware(),
+        ] {
+            println!("\n  partition: {}", partition.name);
+            println!(
+                "  {:>10}  {:>14}  {:>14}  {:>10}  {:>8}  {:>8}",
+                "pkt octets", "sim goodput", "analytic", "bottleneck", "eng util", "bus util"
+            );
+            for &len in &sizes {
+                let mut cfg = TxConfig::paper(rate);
+                cfg.partition = partition.clone();
+                let r = run_tx(&cfg, &greedy_workload(20, len, VcId::new(0, 32)));
+                let p = predict_tx(len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal);
+                println!(
+                    "  {:>10}  {:>11.1} Mb/s  {:>11.1} Mb/s  {:>10}  {:>7.1}%  {:>7.1}%",
+                    len,
+                    r.goodput_bps / 1e6,
+                    p.achievable_bps / 1e6,
+                    p.bottleneck,
+                    r.engine_util * 100.0,
+                    r.bus_util * 100.0,
+                );
+            }
+        }
+    }
+    println!(
+        "\nReading: all-software plateaus at the engine bound regardless of rate;\n\
+         the paper split rides the link to saturation once per-packet costs amortize."
+    );
+}

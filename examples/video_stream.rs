@@ -1,0 +1,66 @@
+//! Video over a paced VC: the workload the intro of every host-interface
+//! paper of the era motivates — a constant-bit-rate stream that must not
+//! be jittered by bulk transfers sharing the interface.
+//!
+//! ```text
+//! cargo run -p hni-bench --example video_stream --release
+//! ```
+//!
+//! A 15 Mb/s "video" stream (480-octet frames every 250 µs) shares the
+//! transmit pipeline with three greedy 64 kB bulk transfers, with and
+//! without per-VC GCRA pacing. Compare the cell-level jitter.
+
+use hni_atm::VcId;
+use hni_core::txsim::{run_tx, TxConfig, TxPacket};
+use hni_sim::{Duration, Time};
+use hni_sonet::LineRate;
+
+fn workload(video: VcId) -> Vec<TxPacket> {
+    let mut pkts = Vec::new();
+    for i in 0..60u64 {
+        pkts.push(TxPacket {
+            vc: video,
+            len: 480,
+            arrival: Time::ZERO + Duration::from_us(250) * i,
+            pcr: Some(60_000.0), // pace to 60k cells/s
+        });
+    }
+    for v in 0..3u16 {
+        for _ in 0..2 {
+            pkts.push(TxPacket {
+                vc: VcId::new(0, 300 + v),
+                len: 65_000,
+                arrival: Time::ZERO,
+                pcr: None,
+            });
+        }
+    }
+    pkts
+}
+
+fn main() {
+    let video = VcId::new(0, 200);
+    println!("15.4 Mb/s CBR stream vs three greedy bulk VCs at OC-12\n");
+    for pacing in [false, true] {
+        let mut cfg = TxConfig::paper(LineRate::Oc12);
+        cfg.pacing = pacing;
+        let r = run_tx(&cfg, &workload(video));
+        let jitter = &r.interdeparture_us[&video];
+        println!(
+            "pacing {:>3}: video cell gaps mean {:7.2} µs, sd {:6.2} µs, max {:7.2} µs  \
+             (packets sent: {}, link util {:.1}%)",
+            if pacing { "on" } else { "off" },
+            jitter.mean(),
+            jitter.std_dev(),
+            jitter.max(),
+            r.packets_sent,
+            r.link_util * 100.0,
+        );
+    }
+    println!(
+        "\nReading: unpaced, the video VC's cells bunch behind bulk cells and then\n\
+         burst out back-to-back (small mean, huge max). Paced, each video cell\n\
+         departs near its GCRA-conforming time: the jitter collapses, and the\n\
+         bulk VCs still fill every slot the video VC does not claim."
+    );
+}

@@ -1,0 +1,298 @@
+//! End-to-end integration: host A → NIC → SONET line → NIC → host B,
+//! through every layer of the byte-exact data path.
+
+use hni_aal::AalType;
+use hni_atm::VcId;
+use hni_core::{Nic, NicConfig, NicEvent};
+use hni_sim::{Rng, Time};
+use hni_sonet::LineRate;
+
+/// Build a synchronized NIC pair.
+fn pair(rate: LineRate, aal: AalType) -> (Nic, Nic) {
+    let mut cfg = NicConfig::paper(rate);
+    cfg.aal = aal;
+    let mut a = Nic::new(cfg.clone());
+    let mut b = Nic::new(cfg);
+    for _ in 0..12 {
+        let f = a.frame_tick();
+        b.receive_line_octets(&f, Time::ZERO);
+    }
+    assert!(b.tc_receiver().aligner().is_synced());
+    assert!(b.tc_receiver().delineator().is_synced());
+    (a, b)
+}
+
+fn pump_until(a: &mut Nic, b: &mut Nic, want: usize, max_frames: usize) -> Vec<NicEvent> {
+    let mut evs = Vec::new();
+    let mut got = 0;
+    for _ in 0..max_frames {
+        let f = a.frame_tick();
+        b.receive_line_octets(&f, Time::ZERO);
+        while let Some(e) = b.poll() {
+            if matches!(e, NicEvent::PacketReceived { .. }) {
+                got += 1;
+            }
+            evs.push(e);
+        }
+        if got >= want {
+            break;
+        }
+    }
+    evs
+}
+
+#[test]
+fn bulk_transfer_oc3_aal5() {
+    bulk_transfer(LineRate::Oc3, AalType::Aal5);
+}
+
+#[test]
+fn bulk_transfer_oc12_aal5() {
+    bulk_transfer(LineRate::Oc12, AalType::Aal5);
+}
+
+#[test]
+fn bulk_transfer_oc3_aal34() {
+    bulk_transfer(LineRate::Oc3, AalType::Aal34);
+}
+
+fn bulk_transfer(rate: LineRate, aal: AalType) {
+    let (mut a, mut b) = pair(rate, aal);
+    let vc = VcId::new(1, 333);
+    a.open_vc(vc).unwrap();
+    b.open_vc(vc).unwrap();
+
+    let mut rng = Rng::new(2024);
+    let payloads: Vec<Vec<u8>> = (0..40)
+        .map(|_| {
+            let len = rng.range(0, 20_000) as usize;
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        })
+        .collect();
+    for p in &payloads {
+        a.send(vc, p.clone(), Time::ZERO).unwrap();
+    }
+    let evs = pump_until(&mut a, &mut b, payloads.len(), 4000);
+    let received: Vec<Vec<u8>> = evs
+        .into_iter()
+        .filter_map(|e| match e {
+            NicEvent::PacketReceived { data, .. } => Some(data),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(received.len(), payloads.len(), "{rate:?}/{aal}");
+    // In-order, byte-exact delivery.
+    assert_eq!(received, payloads, "{rate:?}/{aal}");
+}
+
+#[test]
+fn many_vcs_interleave_on_one_line() {
+    let (mut a, mut b) = pair(LineRate::Oc12, AalType::Aal5);
+    let vcs: Vec<VcId> = (0..32).map(|i| VcId::new(i / 16, 100 + i)).collect();
+    for &vc in &vcs {
+        a.open_vc(vc).unwrap();
+        b.open_vc(vc).unwrap();
+    }
+    for (i, &vc) in vcs.iter().enumerate() {
+        a.send(vc, vec![i as u8; 1000 + i * 100], Time::ZERO).unwrap();
+    }
+    let evs = pump_until(&mut a, &mut b, vcs.len(), 200);
+    let mut seen = 0;
+    for e in evs {
+        if let NicEvent::PacketReceived { vc, data, .. } = e {
+            let i = vcs.iter().position(|&v| v == vc).expect("known vc");
+            assert_eq!(data.len(), 1000 + i * 100);
+            assert!(data.iter().all(|&x| x == i as u8));
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, vcs.len());
+}
+
+#[test]
+fn aal34_mid_multiplexing_end_to_end() {
+    let (mut a, mut b) = pair(LineRate::Oc3, AalType::Aal34);
+    let vc = VcId::new(0, 70);
+    a.open_vc(vc).unwrap();
+    b.open_vc(vc).unwrap();
+    // Ten "sources" share one VC via MIDs.
+    for mid in 0..10u16 {
+        a.send_with_mid(vc, mid, vec![mid as u8; 2000], Time::ZERO).unwrap();
+    }
+    let evs = pump_until(&mut a, &mut b, 10, 200);
+    let mut mids = Vec::new();
+    for e in evs {
+        if let NicEvent::PacketReceived { mid, data, .. } = e {
+            assert_eq!(data, vec![mid as u8; 2000]);
+            mids.push(mid);
+        }
+    }
+    mids.sort_unstable();
+    assert_eq!(mids, (0..10).collect::<Vec<_>>());
+}
+
+#[test]
+fn byte_capacity_accounting_is_exact() {
+    // Conservation law: every octet the framer pulls is a cell octet —
+    // (data cells + idle cells) × 53 − still-queued backlog must equal
+    // frames pulled × payload octets per frame.
+    let cfg = NicConfig::paper(LineRate::Oc3);
+    let mut a = Nic::new(cfg);
+    let vc = VcId::new(0, 44);
+    a.open_vc(vc).unwrap();
+    a.send(vc, vec![1; 10_000], Time::ZERO).unwrap();
+    let frames = 20u64;
+    for _ in 0..frames {
+        let f = a.frame_tick();
+        assert_eq!(f.len(), LineRate::Oc3.frame_octets());
+    }
+    let tx = a.tc_transmitter();
+    // 10_000 octets AAL5 → 209 cells.
+    assert_eq!(tx.data_cells(), 209);
+    let queued_octets = (tx.data_cells() + tx.idle_cells()) * 53;
+    let pulled = queued_octets - tx.backlog_octets() as u64;
+    assert_eq!(
+        pulled,
+        frames * LineRate::Oc3.payload_octets_per_frame() as u64
+    );
+}
+
+#[test]
+fn duplex_operation() {
+    // Traffic flows both directions simultaneously over two fibres.
+    let (mut a, mut b) = pair(LineRate::Oc3, AalType::Aal5);
+    // Synchronize the reverse path too.
+    for _ in 0..12 {
+        let f = b.frame_tick();
+        a.receive_line_octets(&f, Time::ZERO);
+    }
+    let vc = VcId::new(0, 80);
+    a.open_vc(vc).unwrap();
+    b.open_vc(vc).unwrap();
+
+    a.send(vc, b"a to b".to_vec(), Time::ZERO).unwrap();
+    b.send(vc, b"b to a".to_vec(), Time::ZERO).unwrap();
+    let mut got_ab = None;
+    let mut got_ba = None;
+    for _ in 0..30 {
+        let fa = a.frame_tick();
+        let fb = b.frame_tick();
+        b.receive_line_octets(&fa, Time::ZERO);
+        a.receive_line_octets(&fb, Time::ZERO);
+        while let Some(e) = b.poll() {
+            if let NicEvent::PacketReceived { data, .. } = e {
+                got_ab = Some(data);
+            }
+        }
+        while let Some(e) = a.poll() {
+            if let NicEvent::PacketReceived { data, .. } = e {
+                got_ba = Some(data);
+            }
+        }
+    }
+    assert_eq!(got_ab.as_deref(), Some(&b"a to b"[..]));
+    assert_eq!(got_ba.as_deref(), Some(&b"b to a"[..]));
+}
+
+#[test]
+fn reassembly_timeout_recovers_the_vc() {
+    let (mut a, mut b) = pair(LineRate::Oc3, AalType::Aal5);
+    let vc = VcId::new(0, 90);
+    a.open_vc(vc).unwrap();
+    b.open_vc(vc).unwrap();
+
+    // Deliver only the first frame of a large SDU, then stop (simulates
+    // the transmitter dying mid-packet).
+    a.send(vc, vec![9; 30_000], Time::ZERO).unwrap();
+    let f = a.frame_tick();
+    b.receive_line_octets(&f, Time::ZERO);
+    // Time passes; the timeout (10 ms) fires.
+    b.expire(Time::from_ms(50));
+    let mut saw_timeout = false;
+    while let Some(e) = b.poll() {
+        if let NicEvent::ReceiveError(f) = e {
+            assert_eq!(f.error, hni_aal::ReassemblyError::Timeout);
+            saw_timeout = true;
+        }
+    }
+    assert!(saw_timeout);
+
+    // The VC must work again afterwards: flush the stale tail cells of
+    // the dead SDU first (they will be rejected), then send fresh.
+    while a.tx_backlog_cells() > 0 {
+        let f = a.frame_tick();
+        b.receive_line_octets(&f, Time::from_ms(50));
+    }
+    while b.poll().is_some() {}
+    a.send(vc, b"fresh".to_vec(), Time::from_ms(51)).unwrap();
+    let evs = pump_until(&mut a, &mut b, 1, 50);
+    let delivered: Vec<_> = evs
+        .iter()
+        .filter_map(|e| match e {
+            NicEvent::PacketReceived { data, .. } => Some(data.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delivered, vec![b"fresh".to_vec()]);
+}
+
+#[test]
+fn through_a_switch_hop_with_label_translation() {
+    // host A ─OC-3─► switch node (VC 0/60 → 5/500) ─OC-3─► host B
+    use hni_switch::{RouteEntry, SwitchConfig, SwitchNode};
+
+    let rate = LineRate::Oc3;
+    let cfg = NicConfig::paper(rate);
+    let mut a = Nic::new(cfg.clone());
+    let mut b = Nic::new(cfg);
+    let mut node = SwitchNode::new(
+        SwitchConfig {
+            ports: 2,
+            output_queue_cells: 1024,
+            clp_threshold: 1024,
+            efci_threshold: 1024,
+        },
+        rate,
+    );
+    let vc_in = VcId::new(0, 60);
+    let vc_out = VcId::new(5, 500);
+    a.open_vc(vc_in).unwrap();
+    b.open_vc(vc_out).unwrap();
+    node.fabric()
+        .add_route(0, vc_in, RouteEntry { out_port: 1, out_vc: vc_out });
+
+    // Warm up both hops.
+    for _ in 0..14 {
+        let f = a.frame_tick();
+        node.receive_frame(0, &f, Time::ZERO);
+        let out = node.frame_tick(1, Time::ZERO);
+        b.receive_line_octets(&out, Time::ZERO);
+    }
+    assert!(b.tc_receiver().delineator().is_synced());
+
+    let payloads: Vec<Vec<u8>> = (0..10)
+        .map(|i| (0..2000 + i * 333).map(|j| ((i + j) % 256) as u8).collect())
+        .collect();
+    for p in &payloads {
+        a.send(vc_in, p.clone(), Time::ZERO).unwrap();
+    }
+    let mut received = Vec::new();
+    for _ in 0..80 {
+        let f = a.frame_tick();
+        node.receive_frame(0, &f, Time::ZERO);
+        let out = node.frame_tick(1, Time::ZERO);
+        b.receive_line_octets(&out, Time::ZERO);
+        while let Some(e) = b.poll() {
+            if let NicEvent::PacketReceived { vc, data, .. } = e {
+                assert_eq!(vc, vc_out, "label must arrive translated");
+                received.push(data);
+            }
+        }
+        if received.len() == payloads.len() {
+            break;
+        }
+    }
+    assert_eq!(received, payloads);
+    // The switch's input card saw real delineation; nothing unroutable.
+    assert_eq!(node.fabric().unroutable(), 0);
+}

@@ -1,0 +1,70 @@
+//! Structural golden tests for the report: every experiment's rendering
+//! must keep its identifying header, its table shape, and the invariant
+//! facts the evaluation narrative quotes. Guards against silent
+//! rendering regressions (a renamed column, a dropped row) that unit
+//! tests of the underlying numbers would not catch.
+
+use hni_bench::{run_experiment, EXPERIMENT_IDS};
+
+#[test]
+fn all_experiments_render_with_headers_and_tables() {
+    for id in EXPERIMENT_IDS {
+        let out = run_experiment(id).unwrap_or_else(|| panic!("{id} missing"));
+        assert!(
+            out.starts_with(&id.to_uppercase()),
+            "{id}: report must start with its id header"
+        );
+        assert!(
+            out.contains("---"),
+            "{id}: table separator missing"
+        );
+        assert!(out.lines().count() >= 7, "{id}: suspiciously short");
+    }
+}
+
+#[test]
+fn rt1_quotes_the_headline_budgets() {
+    let out = run_experiment("r-t1").unwrap();
+    assert!(out.contains("681.6 ns"), "OC-12 cell time");
+    assert!(out.contains("2726.3 ns"), "OC-3 cell time");
+    assert!(out.contains("17.7"), "25 MIPS OC-12 budget");
+}
+
+#[test]
+fn rt2_quotes_the_partition_verdicts() {
+    let out = run_experiment("r-t2").unwrap();
+    for needle in ["all-software", "paper-split", "full-hardware", "yes", "no"] {
+        assert!(out.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn rf1_has_every_size_and_partition() {
+    let out = run_experiment("r-f1").unwrap();
+    for size in ["64", "9180", "65000"] {
+        assert!(out.contains(size), "missing size {size}");
+    }
+    assert!(out.contains("link") && out.contains("engine"), "bottleneck column");
+}
+
+#[test]
+fn rt5_quotes_the_waterfall_endpoints() {
+    let out = run_experiment("r-t5").unwrap();
+    assert!(out.contains("622.1 Mb/s"));
+    assert!(out.contains("599.0 Mb/s"));
+    assert!(out.contains("540.4 Mb/s"));
+}
+
+#[test]
+fn ra2_quotes_the_mips_minimums() {
+    let out = run_experiment("r-a2").unwrap();
+    assert!(out.contains("21.2"), "paper-split OC-12 minimum MIPS");
+    assert!(out.contains("285.4"), "all-software OC-12 minimum MIPS");
+}
+
+#[test]
+fn experiment_list_is_complete_and_ordered() {
+    assert_eq!(EXPERIMENT_IDS.len(), 15);
+    assert!(EXPERIMENT_IDS.starts_with(&["r-t1", "r-t2"]));
+    assert!(EXPERIMENT_IDS.ends_with(&["r-a1", "r-a2"]));
+}
