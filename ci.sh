@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints-as-errors, full test suite.
+# Run from the repository root before pushing.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

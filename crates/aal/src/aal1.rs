@@ -260,10 +260,7 @@ mod tests {
                     // the SAME one. What must never happen: decoding back
                     // to the original (that would be an undetected error).
                     if let Some((c, s)) = decode_header(bad) {
-                        assert!(
-                            (c, s) != (false, sc),
-                            "double error undetected for sc={sc}"
-                        );
+                        assert!((c, s) != (false, sc), "double error undetected for sc={sc}");
                     }
                 }
             }

@@ -110,7 +110,8 @@ impl SarPdu {
     /// Emit a complete 48-octet SAR-PDU (computes the CRC-10).
     pub fn emit(&self, body: &[u8; SAR_PAYLOAD]) -> [u8; PAYLOAD_SIZE] {
         let mut out = [0u8; PAYLOAD_SIZE];
-        out[0] = (self.st.to_bits() << 6) | ((self.sn & 0x0F) << 2) | ((self.mid >> 8) as u8 & 0b11);
+        out[0] =
+            (self.st.to_bits() << 6) | ((self.sn & 0x0F) << 2) | ((self.mid >> 8) as u8 & 0b11);
         out[1] = self.mid as u8;
         out[2..46].copy_from_slice(body);
         out[46] = self.li << 2;
@@ -266,12 +267,7 @@ impl Aal34Reassembler {
         error: ReassemblyError,
         extra_octets: usize,
     ) -> ReassemblyOutcome {
-        let discarded = self
-            .frames
-            .remove(&key)
-            .map(|f| f.buf.len())
-            .unwrap_or(0)
-            + extra_octets;
+        let discarded = self.frames.remove(&key).map(|f| f.buf.len()).unwrap_or(0) + extra_octets;
         self.failed += 1;
         Some(Err(ReassemblyFailure {
             vc: key.0,
@@ -324,8 +320,9 @@ impl Aal34Reassembler {
                     first_failure = self.fail(key, ReassemblyError::UnexpectedBegin, 0);
                 }
                 if sar.li as usize != SAR_PAYLOAD {
-                    return first_failure
-                        .or_else(|| self.fail(key, ReassemblyError::MalformedCpcs, sar.li as usize));
+                    return first_failure.or_else(|| {
+                        self.fail(key, ReassemblyError::MalformedCpcs, sar.li as usize)
+                    });
                 }
                 self.frames.insert(
                     key,
@@ -407,10 +404,7 @@ impl Aal34Reassembler {
             self.failed += 1;
             return fail(ReassemblyError::TagMismatch);
         }
-        if length > self.max_sdu
-            || basize < length
-            || cpcs_pdu_len(length) != cpcs.len()
-        {
+        if length > self.max_sdu || basize < length || cpcs_pdu_len(length) != cpcs.len() {
             self.failed += 1;
             return fail(ReassemblyError::LengthMismatch);
         }
@@ -471,7 +465,8 @@ mod tests {
                 done = Some(out);
             }
         }
-        done.expect("frame should complete").expect("frame should be valid")
+        done.expect("frame should complete")
+            .expect("frame should be valid")
     }
 
     #[test]
@@ -606,7 +601,10 @@ mod tests {
         let cells = seg.segment(vc(), 0, &[1u8; 500]);
         let mut r = reasm();
         let out = r.push(&cells[1], Time::ZERO); // a COM cell, no BOM
-        assert_eq!(out.unwrap().unwrap_err().error, ReassemblyError::NoFrameInProgress);
+        assert_eq!(
+            out.unwrap().unwrap_err().error,
+            ReassemblyError::NoFrameInProgress
+        );
     }
 
     #[test]
@@ -618,7 +616,10 @@ mod tests {
         r.push(&f1[0], Time::ZERO);
         r.push(&f1[1], Time::ZERO);
         let out = r.push(&f2[0], Time::ZERO); // new BOM mid-frame
-        assert_eq!(out.unwrap().unwrap_err().error, ReassemblyError::UnexpectedBegin);
+        assert_eq!(
+            out.unwrap().unwrap_err().error,
+            ReassemblyError::UnexpectedBegin
+        );
         // ... and the new frame proceeds normally afterwards.
         let mut done = None;
         for c in &f2[1..] {
@@ -651,7 +652,10 @@ mod tests {
         let mut tampered = cells[2].clone();
         tampered.payload_mut().copy_from_slice(&new_payload);
         let out = r.push(&tampered, Time::ZERO);
-        assert_eq!(out.unwrap().unwrap_err().error, ReassemblyError::TagMismatch);
+        assert_eq!(
+            out.unwrap().unwrap_err().error,
+            ReassemblyError::TagMismatch
+        );
     }
 
     #[test]

@@ -279,7 +279,8 @@ mod tests {
                 done = Some(out);
             }
         }
-        done.expect("frame should complete").expect("frame should be valid")
+        done.expect("frame should complete")
+            .expect("frame should be valid")
     }
 
     #[test]
@@ -315,7 +316,11 @@ mod tests {
     fn cell_count_matches_formula() {
         for len in [0, 1, 40, 41, 1000, 9180, 65535] {
             let cells = segment(vc(), &vec![0xAB; len], 0);
-            assert_eq!(cells.len(), crate::AalType::Aal5.cells_for_sdu(len), "len {len}");
+            assert_eq!(
+                cells.len(),
+                crate::AalType::Aal5.cells_for_sdu(len),
+                "len {len}"
+            );
         }
     }
 
@@ -346,7 +351,10 @@ mod tests {
         // A lost 48-octet chunk shifts everything: either CRC or length
         // catches it. (CRC virtually always.)
         assert!(
-            matches!(failure.error, ReassemblyError::Crc32 | ReassemblyError::LengthMismatch),
+            matches!(
+                failure.error,
+                ReassemblyError::Crc32 | ReassemblyError::LengthMismatch
+            ),
             "got {:?}",
             failure.error
         );

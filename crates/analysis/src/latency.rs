@@ -98,7 +98,8 @@ pub fn unloaded_latency(
     let mut rx_delivery_dma = Duration::ZERO;
     if len > 0 {
         for b in 0..bus.bursts_for(len) {
-            rx_delivery_dma += e.task_time(TaskKind::RxDmaBurst) + bus.burst_time(bus.burst_words(len, b));
+            rx_delivery_dma +=
+                e.task_time(TaskKind::RxDmaBurst) + bus.burst_time(bus.burst_words(len, b));
         }
     }
     let rx_complete = e.task_time(TaskKind::RxPacketComplete);
@@ -169,7 +170,7 @@ mod tests {
     fn small_packet_latency_dominated_by_fixed_costs() {
         let b = bd(64);
         assert!(b.serialization < Duration::from_us(2)); // 2 cells
-        // Total still tens of µs due to fixed work + propagation.
+                                                         // Total still tens of µs due to fixed work + propagation.
         assert!(b.total > Duration::from_us(5));
         assert!(b.total < Duration::from_us(50));
     }

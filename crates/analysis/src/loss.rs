@@ -40,10 +40,7 @@ pub fn goodput_under_loss(rate: LineRate, aal: AalType, len: usize, loss: f64) -
     // Offered cells occupy payload slots; goodput counts only SDU bits
     // of surviving frames.
     let cell_payload_fraction = 48.0 / 53.0;
-    let goodput = rate.payload_bps()
-        * cell_payload_fraction
-        * aal.efficiency(len)
-        * survival;
+    let goodput = rate.payload_bps() * cell_payload_fraction * aal.efficiency(len) * survival;
     LossPoint {
         loss,
         len,
@@ -88,7 +85,11 @@ mod tests {
     fn survival_collapses_for_large_frames() {
         // 65535 octets = 1366 cells: at p = 1e-3, survival ≈ e^-1.37 ≈ 0.25.
         let p = goodput_under_loss(LineRate::Oc12, AalType::Aal5, 65535, 1e-3);
-        assert!(p.frame_survival > 0.2 && p.frame_survival < 0.3, "{}", p.frame_survival);
+        assert!(
+            p.frame_survival > 0.2 && p.frame_survival < 0.3,
+            "{}",
+            p.frame_survival
+        );
     }
 
     #[test]

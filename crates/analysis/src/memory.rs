@@ -198,7 +198,12 @@ mod tests {
         let rows = memory_rows();
         assert_eq!(rows.len(), 6);
         for r in &rows {
-            assert!(r.small <= r.max || r.small == r.max || r.strategy == MemoryStrategy::ContiguousMax || r.strategy == MemoryStrategy::HostMemory);
+            assert!(
+                r.small <= r.max
+                    || r.small == r.max
+                    || r.strategy == MemoryStrategy::ContiguousMax
+                    || r.strategy == MemoryStrategy::HostMemory
+            );
         }
     }
 }

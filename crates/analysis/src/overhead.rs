@@ -43,10 +43,7 @@ pub fn overhead_waterfall(rate: LineRate, aal: AalType, len: usize) -> Vec<Overh
     let cell_payload = payload * 48.0 / 53.0;
     push("after ATM cell headers".into(), cell_payload);
     let sdu = cell_payload * aal.efficiency(len);
-    push(
-        format!("after {aal} envelope ({len}-octet frames)"),
-        sdu,
-    );
+    push(format!("after {aal} envelope ({len}-octet frames)"), sdu);
     steps
 }
 
@@ -67,7 +64,11 @@ mod tests {
         let steps = overhead_waterfall(LineRate::Oc12, AalType::Aal5, 9180);
         let last = steps.last().unwrap();
         // 622.08 → 599.04 → 542.5 → ~540.4 Mb/s.
-        assert!((last.rate_bps / 1e6 - 540.4).abs() < 1.0, "{}", last.rate_bps);
+        assert!(
+            (last.rate_bps / 1e6 - 540.4).abs() < 1.0,
+            "{}",
+            last.rate_bps
+        );
         assert!((last.fraction_of_line - 0.868).abs() < 0.01);
     }
 

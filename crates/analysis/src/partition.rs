@@ -144,15 +144,24 @@ mod tests {
     #[test]
     fn all_software_fails_even_oc3() {
         let rates = stage_rates(&standard_partitions(), 25.0, LineRate::Oc3);
-        let sw = rates.iter().find(|r| r.partition == "all-software").unwrap();
-        assert!(!sw.rx_keeps_up, "202 instr/cell at 25 MIPS > 2.83 µs OC-3 slot");
+        let sw = rates
+            .iter()
+            .find(|r| r.partition == "all-software")
+            .unwrap();
+        assert!(
+            !sw.rx_keeps_up,
+            "202 instr/cell at 25 MIPS > 2.83 µs OC-3 slot"
+        );
     }
 
     #[test]
     fn enough_mips_rescues_all_software_at_oc3() {
         // 202 instr per rx cell / 2.83 µs needs ≈ 71.4 MIPS.
         let rates = stage_rates(&standard_partitions(), 100.0, LineRate::Oc3);
-        let sw = rates.iter().find(|r| r.partition == "all-software").unwrap();
+        let sw = rates
+            .iter()
+            .find(|r| r.partition == "all-software")
+            .unwrap();
         assert!(sw.rx_keeps_up && sw.tx_keeps_up);
     }
 }

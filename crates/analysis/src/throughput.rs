@@ -69,9 +69,21 @@ fn predict(
     let t_link = cells as f64 * rate.cell_slot_time().as_s_f64();
 
     let bits = len as f64 * 8.0;
-    let eb = if t_engine > 0.0 { bits / t_engine } else { f64::INFINITY };
-    let bb = if t_bus > 0.0 { bits / t_bus } else { f64::INFINITY };
-    let lb = if t_link > 0.0 { bits / t_link } else { f64::INFINITY };
+    let eb = if t_engine > 0.0 {
+        bits / t_engine
+    } else {
+        f64::INFINITY
+    };
+    let bb = if t_bus > 0.0 {
+        bits / t_bus
+    } else {
+        f64::INFINITY
+    };
+    let lb = if t_link > 0.0 {
+        bits / t_link
+    } else {
+        f64::INFINITY
+    };
     let (achievable, bottleneck) = if eb <= bb && eb <= lb {
         (eb, "engine")
     } else if bb <= lb {
@@ -212,8 +224,22 @@ mod tests {
 
     #[test]
     fn rx_is_costlier_than_tx_per_cell_all_software() {
-        let tx = predict_tx(9180, &HwPartition::all_software(), 25.0, &BusConfig::default(), LineRate::Oc12, AalType::Aal5);
-        let rx = predict_rx(9180, &HwPartition::all_software(), 25.0, &BusConfig::default(), LineRate::Oc12, AalType::Aal5);
+        let tx = predict_tx(
+            9180,
+            &HwPartition::all_software(),
+            25.0,
+            &BusConfig::default(),
+            LineRate::Oc12,
+            AalType::Aal5,
+        );
+        let rx = predict_rx(
+            9180,
+            &HwPartition::all_software(),
+            25.0,
+            &BusConfig::default(),
+            LineRate::Oc12,
+            AalType::Aal5,
+        );
         assert!(
             rx.achievable_bps < tx.achievable_bps,
             "receive per-cell work (202) exceeds transmit (172)"
@@ -225,9 +251,17 @@ mod tests {
         // Cross-validation: analytic link-bound prediction vs the DES.
         let p = paper_tx(40_000, LineRate::Oc12);
         let cfg = hni_core::txsim::TxConfig::paper(LineRate::Oc12);
-        let r = hni_core::txsim::run_tx(&cfg, &hni_core::txsim::greedy_workload(30, 40_000, hni_atm_vc()));
+        let r = hni_core::txsim::run_tx(
+            &cfg,
+            &hni_core::txsim::greedy_workload(30, 40_000, hni_atm_vc()),
+        );
         let rel = (r.goodput_bps - p.achievable_bps).abs() / p.achievable_bps;
-        assert!(rel < 0.05, "sim {} vs analysis {}", r.goodput_bps, p.achievable_bps);
+        assert!(
+            rel < 0.05,
+            "sim {} vs analysis {}",
+            r.goodput_bps,
+            p.achievable_bps
+        );
     }
 
     fn hni_atm_vc() -> hni_atm::VcId {
@@ -318,9 +352,8 @@ mod bubble_tests {
                     let mut cfg = TxConfig::paper(rate);
                     cfg.partition = partition.clone();
                     let sim = run_tx(&cfg, &greedy_workload(15, len, VcId::new(0, 32)));
-                    let model = predict_tx_with_bubble(
-                        len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal,
-                    );
+                    let model =
+                        predict_tx_with_bubble(len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal);
                     let ratio = sim.goodput_bps / model;
                     assert!(
                         (0.88..=1.12).contains(&ratio),
@@ -353,7 +386,11 @@ mod bubble_tests {
                 LineRate::Oc12,
                 AalType::Aal5,
             );
-            assert!(b <= p.achievable_bps * 1.001, "len {len}: {b} > {}", p.achievable_bps);
+            assert!(
+                b <= p.achievable_bps * 1.001,
+                "len {len}: {b} > {}",
+                p.achievable_bps
+            );
         }
     }
 }

@@ -56,10 +56,22 @@ impl Pti {
     /// Decode from the 3 PTI bits.
     pub fn from_bits(bits: u8) -> Pti {
         match bits & 0b111 {
-            0b000 => Pti::UserData { congestion: false, last: false },
-            0b001 => Pti::UserData { congestion: false, last: true },
-            0b010 => Pti::UserData { congestion: true, last: false },
-            0b011 => Pti::UserData { congestion: true, last: true },
+            0b000 => Pti::UserData {
+                congestion: false,
+                last: false,
+            },
+            0b001 => Pti::UserData {
+                congestion: false,
+                last: true,
+            },
+            0b010 => Pti::UserData {
+                congestion: true,
+                last: false,
+            },
+            0b011 => Pti::UserData {
+                congestion: true,
+                last: true,
+            },
             0b100 => Pti::OamSegment,
             0b101 => Pti::OamEndToEnd,
             0b110 => Pti::ResourceManagement,
@@ -70,9 +82,7 @@ impl Pti {
     /// Encode to the 3 PTI bits.
     pub fn to_bits(self) -> u8 {
         match self {
-            Pti::UserData { congestion, last } => {
-                ((congestion as u8) << 1) | (last as u8)
-            }
+            Pti::UserData { congestion, last } => ((congestion as u8) << 1) | (last as u8),
             Pti::OamSegment => 0b100,
             Pti::OamEndToEnd => 0b101,
             Pti::ResourceManagement => 0b110,
@@ -140,14 +150,20 @@ impl HeaderRepr {
             gfc: 0,
             vpi: vc.vpi,
             vci: vc.vci,
-            pti: Pti::UserData { congestion: false, last },
+            pti: Pti::UserData {
+                congestion: false,
+                last,
+            },
             clp: false,
         }
     }
 
     /// The VC this header addresses.
     pub fn vc(&self) -> VcId {
-        VcId { vpi: self.vpi, vci: self.vci }
+        VcId {
+            vpi: self.vpi,
+            vci: self.vci,
+        }
     }
 
     /// Parse a 5-octet header. The HEC must already be valid (run
@@ -162,17 +178,21 @@ impl HeaderRepr {
                 bytes[0] >> 4,
                 (((bytes[0] & 0x0F) as u16) << 4) | ((bytes[1] >> 4) as u16),
             ),
-            HeaderFormat::Nni => (
-                0,
-                ((bytes[0] as u16) << 4) | ((bytes[1] >> 4) as u16),
-            ),
+            HeaderFormat::Nni => (0, ((bytes[0] as u16) << 4) | ((bytes[1] >> 4) as u16)),
         };
         let vci = (((bytes[1] & 0x0F) as u16) << 12)
             | ((bytes[2] as u16) << 4)
             | ((bytes[3] >> 4) as u16);
         let pti = Pti::from_bits((bytes[3] >> 1) & 0b111);
         let clp = bytes[3] & 1 != 0;
-        Ok(HeaderRepr { format, gfc, vpi, vci, pti, clp })
+        Ok(HeaderRepr {
+            format,
+            gfc,
+            vpi,
+            vci,
+            pti,
+            clp,
+        })
     }
 
     /// Emit the 5-octet header, computing the HEC.
@@ -196,9 +216,7 @@ impl HeaderRepr {
         }
         bytes[1] = (((self.vpi & 0x0F) as u8) << 4) | ((self.vci >> 12) as u8);
         bytes[2] = (self.vci >> 4) as u8;
-        bytes[3] = (((self.vci & 0x0F) as u8) << 4)
-            | (self.pti.to_bits() << 1)
-            | (self.clp as u8);
+        bytes[3] = (((self.vci & 0x0F) as u8) << 4) | (self.pti.to_bits() << 1) | (self.clp as u8);
         let mut h4 = [0u8; 4];
         h4.copy_from_slice(&bytes[..4]);
         bytes[4] = hec::compute(&h4);
@@ -337,7 +355,10 @@ mod tests {
             gfc: 0xA,
             vpi: 0xBC,
             vci: 0xDEF1,
-            pti: Pti::UserData { congestion: true, last: true },
+            pti: Pti::UserData {
+                congestion: true,
+                last: true,
+            },
             clp: true,
         };
         let mut b = [0u8; 5];
@@ -378,7 +399,10 @@ mod tests {
         let mut b = [0u8; 5];
         h.emit(&mut b).unwrap();
         b[4] ^= 0xFF;
-        assert_eq!(HeaderRepr::parse(&b, HeaderFormat::Uni), Err(HeaderError::Hec));
+        assert_eq!(
+            HeaderRepr::parse(&b, HeaderFormat::Uni),
+            Err(HeaderError::Hec)
+        );
     }
 
     #[test]

@@ -291,7 +291,10 @@ mod tests {
 
     /// Serialize cells to a byte stream.
     fn stream(cells: &[Cell]) -> Vec<u8> {
-        cells.iter().flat_map(|c| c.as_bytes().iter().copied()).collect()
+        cells
+            .iter()
+            .flat_map(|c| c.as_bytes().iter().copied())
+            .collect()
     }
 
     #[test]
@@ -415,7 +418,9 @@ mod tests {
         let mut out = Vec::new();
         d.push_bytes(&stream(&good), &mut out);
         // Drop sync with garbage (odd length to also shift alignment).
-        let garbage: Vec<u8> = (0..53 * ALPHA as usize + 7).map(|i| (i as u8).wrapping_mul(97).wrapping_add(13)).collect();
+        let garbage: Vec<u8> = (0..53 * ALPHA as usize + 7)
+            .map(|i| (i as u8).wrapping_mul(97).wrapping_add(13))
+            .collect();
         d.push_bytes(&garbage, &mut out);
         // Feed a clean stream again.
         let more: Vec<Cell> = (0..10).map(|i| data_cell(80 + i, 1)).collect();

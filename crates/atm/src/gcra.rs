@@ -52,7 +52,11 @@ impl Gcra {
     /// New GCRA with increment `t` and tolerance `tau`, starting idle.
     pub fn new(t: Duration, tau: Duration) -> Self {
         assert!(t > Duration::ZERO, "increment must be positive");
-        Gcra { t, tau, tat: Time::ZERO }
+        Gcra {
+            t,
+            tau,
+            tat: Time::ZERO,
+        }
     }
 
     /// Build from a cell rate (cells/second) and a permitted burst of
@@ -190,7 +194,11 @@ mod tests {
             shaper.stamp(at);
             assert!(policer.conforms(at), "cell {i} rejected");
             // Sender becomes ready again at arbitrary (sometimes bursty) times.
-            now = if i % 7 == 0 { at } else { at + Duration::from_ns((i % 5) * 50) };
+            now = if i % 7 == 0 {
+                at
+            } else {
+                at + Duration::from_ns((i % 5) * 50)
+            };
         }
     }
 
@@ -204,7 +212,7 @@ mod tests {
     fn idle_connection_does_not_accumulate_credit_beyond_tau() {
         let mut g = gcra_ns(100, 0);
         assert!(g.conforms(Time::from_us(100))); // long idle
-        // Immediately after, still limited to one per T.
+                                                 // Immediately after, still limited to one per T.
         assert!(!g.conforms(Time::from_us(100)));
     }
 }

@@ -35,7 +35,9 @@ pub mod oam;
 pub mod scrambler;
 pub mod vc;
 
-pub use cell::{Cell, HeaderError, HeaderFormat, HeaderRepr, Pti, CELL_SIZE, HEADER_SIZE, PAYLOAD_SIZE};
+pub use cell::{
+    Cell, HeaderError, HeaderFormat, HeaderRepr, Pti, CELL_SIZE, HEADER_SIZE, PAYLOAD_SIZE,
+};
 pub use delineation::{Delineator, SyncState, ALPHA, DELTA};
 pub use gcra::Gcra;
 pub use hec::{HecReceiver, HecResult, HecRxMode};

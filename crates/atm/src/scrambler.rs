@@ -160,7 +160,11 @@ mod tests {
         d.descramble(&mut rx);
         // First ⌈43/8⌉ = 6 octets may be corrupt; everything after must match.
         assert_eq!(&rx[6..], &data[6..]);
-        assert_ne!(&rx[..6], &data[..6], "garbage state should corrupt the prefix");
+        assert_ne!(
+            &rx[..6],
+            &data[..6],
+            "garbage state should corrupt the prefix"
+        );
     }
 
     #[test]
@@ -187,6 +191,9 @@ mod tests {
             .zip(&data)
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
-        assert_eq!(error_bits, 2, "self-sync scrambler doubles isolated bit errors");
+        assert_eq!(
+            error_bits, 2,
+            "self-sync scrambler doubles isolated bit errors"
+        );
     }
 }

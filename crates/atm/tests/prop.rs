@@ -8,21 +8,16 @@ use hni_sim::{Duration, Time};
 use proptest::prelude::*;
 
 fn arb_header() -> impl Strategy<Value = HeaderRepr> {
-    (
-        0u8..16,
-        0u16..256,
-        any::<u16>(),
-        0u8..8,
-        any::<bool>(),
-    )
-        .prop_map(|(gfc, vpi, vci, pti_bits, clp)| HeaderRepr {
+    (0u8..16, 0u16..256, any::<u16>(), 0u8..8, any::<bool>()).prop_map(
+        |(gfc, vpi, vci, pti_bits, clp)| HeaderRepr {
             format: HeaderFormat::Uni,
             gfc,
             vpi,
             vci,
             pti: Pti::from_bits(pti_bits),
             clp,
-        })
+        },
+    )
 }
 
 proptest! {

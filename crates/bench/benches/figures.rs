@@ -61,7 +61,15 @@ fn bench_rf5(c: &mut Criterion) {
     let mut g = c.benchmark_group("r-f5");
     g.sample_size(10);
     g.bench_function("loss/functional-survival", |b| {
-        b.iter(|| black_box(rf5_loss::functional_survival(AalType::Aal5, 4096, 5e-3, 20, 3)))
+        b.iter(|| {
+            black_box(rf5_loss::functional_survival(
+                AalType::Aal5,
+                4096,
+                5e-3,
+                20,
+                3,
+            ))
+        })
     });
     g.finish();
 }

@@ -4,9 +4,23 @@
 //! cargo run -p hni-bench --bin report --release             # everything
 //! cargo run -p hni-bench --bin report --release -- r-f1     # one experiment
 //! cargo run -p hni-bench --bin report --release -- list     # list ids
+//! cargo run -p hni-bench --bin report --release -- --trace r-f3   # JSONL trace
+//! cargo run -p hni-bench --bin report --release -- metrics r-f3   # metrics dump
 //! ```
 
-use hni_bench::{run_experiment, EXPERIMENT_IDS};
+use hni_bench::{
+    metrics_experiment, run_experiment, trace_experiment, EXPERIMENT_IDS, TRACEABLE_IDS,
+};
+
+fn traceable_id_or_exit(args: &[String], what: &str) -> String {
+    match args.get(1) {
+        Some(id) => id.to_lowercase(),
+        None => {
+            eprintln!("usage: report {what} <id>; traceable ids: {TRACEABLE_IDS:?}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,7 +33,36 @@ fn main() {
         }
         Some("list") => {
             for id in EXPERIMENT_IDS {
-                println!("{id}");
+                let t = if TRACEABLE_IDS.contains(&id) {
+                    "  [traceable]"
+                } else {
+                    ""
+                };
+                println!("{id}{t}");
+            }
+        }
+        Some("--trace" | "trace") => {
+            let id = traceable_id_or_exit(&args, "--trace");
+            match trace_experiment(&id) {
+                Some(events) => print!("{}", hni_telemetry::jsonl::to_jsonl(&events)),
+                None => {
+                    eprintln!(
+                        "experiment '{id}' has no trace support; traceable: {TRACEABLE_IDS:?}"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("metrics") => {
+            let id = traceable_id_or_exit(&args, "metrics");
+            match metrics_experiment(&id) {
+                Some(dump) => print!("{dump}"),
+                None => {
+                    eprintln!(
+                        "experiment '{id}' has no trace support; traceable: {TRACEABLE_IDS:?}"
+                    );
+                    std::process::exit(2);
+                }
             }
         }
         Some(id) => match run_experiment(&id.to_lowercase()) {

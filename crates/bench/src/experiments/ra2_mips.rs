@@ -66,7 +66,11 @@ pub fn run() -> String {
     }
     let mut sim = Table::new(["partition", "MIPS", "pkts delivered @ OC-12 line load"]);
     for p in sweep() {
-        sim.row([p.partition.to_string(), format!("{:.1}", p.mips), fmt_pct(p.delivery)]);
+        sim.row([
+            p.partition.to_string(),
+            format!("{:.1}", p.mips),
+            fmt_pct(p.delivery),
+        ]);
     }
     format!(
         "R-A2 — Ablation: engine speed (receive direction, per-cell work)\n\n\
@@ -89,7 +93,10 @@ mod tests {
         // all-software: 202 instr ≈ 285 MIPS.
         let sw = min_mips_rx(&HwPartition::all_software(), LineRate::Oc12);
         assert!((sw - 285.4).abs() < 1.0, "{sw}");
-        assert_eq!(min_mips_rx(&HwPartition::full_hardware(), LineRate::Oc12), 0.0);
+        assert_eq!(
+            min_mips_rx(&HwPartition::full_hardware(), LineRate::Oc12),
+            0.0
+        );
     }
 
     #[test]
@@ -99,7 +106,10 @@ mod tests {
             .iter()
             .find(|p| p.partition == "paper-split" && p.mips == 25.0)
             .unwrap();
-        assert_eq!(split_25.delivery, 1.0, "25 MIPS > 21.2 minimum: full delivery");
+        assert_eq!(
+            split_25.delivery, 1.0,
+            "25 MIPS > 21.2 minimum: full delivery"
+        );
         let split_12 = pts
             .iter()
             .find(|p| p.partition == "paper-split" && p.mips == 12.5)

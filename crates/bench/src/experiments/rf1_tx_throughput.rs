@@ -5,8 +5,9 @@ use crate::table::{fmt_bps, Table};
 use hni_analysis::throughput::{predict_tx, predict_tx_with_bubble};
 use hni_atm::VcId;
 use hni_core::engine::HwPartition;
-use hni_core::txsim::{greedy_workload, run_tx, TxConfig};
+use hni_core::txsim::{greedy_workload, run_tx, run_tx_instrumented, TxConfig};
 use hni_sonet::LineRate;
+use hni_telemetry::{TraceEvent, VecTracer};
 
 /// Packet sizes swept (octets).
 pub const SIZES: [usize; 7] = [64, 256, 1024, 4096, 9180, 32768, 65000];
@@ -59,6 +60,19 @@ pub fn sweep(packets: usize) -> Vec<Point> {
         }
     }
     out
+}
+
+/// Capture the transmit-pipeline event trace for the table's canonical
+/// steady-state point: paper split, OC-12, 20 × 9180-octet packets.
+pub fn trace_run() -> Vec<TraceEvent> {
+    let mut tracer = VecTracer::new();
+    let cfg = TxConfig::paper(LineRate::Oc12);
+    run_tx_instrumented(
+        &cfg,
+        &greedy_workload(20, 9180, VcId::new(0, 32)),
+        &mut tracer,
+    );
+    tracer.into_events()
 }
 
 /// Render the figure as a table.
@@ -156,9 +170,7 @@ mod tests {
         let pts = sweep(12);
         let big = pts
             .iter()
-            .find(|p| {
-                p.rate == LineRate::Oc12 && p.partition == "paper-split" && p.len == 65000
-            })
+            .find(|p| p.rate == LineRate::Oc12 && p.partition == "paper-split" && p.len == 65000)
             .unwrap();
         assert_eq!(big.bottleneck, "link");
         assert!(big.sim_bps > 0.85 * LineRate::Oc12.payload_bps());

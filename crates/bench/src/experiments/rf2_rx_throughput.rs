@@ -4,10 +4,11 @@
 use crate::table::{fmt_bps, fmt_pct, Table};
 use hni_aal::AalType;
 use hni_core::engine::HwPartition;
-use hni_core::rxsim::{run_rx, RxConfig, RxWorkload};
+use hni_core::rxsim::{run_rx, run_rx_instrumented, RxConfig, RxWorkload};
 use hni_host::{DriverCosts, HostCpu, InterruptMode, RxHostModel};
 use hni_sim::{Duration, Time};
 use hni_sonet::LineRate;
+use hni_telemetry::{TraceEvent, VecTracer};
 
 /// Packet sizes swept (octets).
 pub const SIZES: [usize; 5] = [64, 1024, 4096, 9180, 65000];
@@ -50,6 +51,16 @@ pub fn sweep(pkts_per_vc: usize) -> Vec<Point> {
         }
     }
     out
+}
+
+/// Capture the receive-pipeline event trace for the table's canonical
+/// point: paper split, OC-12 full line load, 4 VCs × 9180-octet packets.
+pub fn trace_run() -> Vec<TraceEvent> {
+    let mut tracer = VecTracer::new();
+    let cfg = RxConfig::paper(LineRate::Oc12);
+    let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 4, 5, 9180, 1.0);
+    run_rx_instrumented(&cfg, &wl, &mut tracer);
+    tracer.into_events()
 }
 
 /// Host-side comparison: CPU utilization delivering 9180-octet packets
@@ -137,7 +148,11 @@ mod tests {
             .iter()
             .find(|p| p.partition == "all-software" && p.len == 9180)
             .unwrap();
-        assert!(sw_big.delivery_fraction < 0.5, "got {}", sw_big.delivery_fraction);
+        assert!(
+            sw_big.delivery_fraction < 0.5,
+            "got {}",
+            sw_big.delivery_fraction
+        );
     }
 
     #[test]

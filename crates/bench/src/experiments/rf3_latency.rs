@@ -6,17 +6,35 @@ use hni_aal::AalType;
 use hni_analysis::latency::unloaded_latency;
 use hni_atm::VcId;
 use hni_core::bus::BusConfig;
+use hni_core::e2esim::{run_e2e, run_e2e_instrumented};
 use hni_core::engine::HwPartition;
-use hni_core::e2esim::run_e2e;
 use hni_core::rxsim::RxConfig;
 use hni_core::txsim::{greedy_workload, run_tx, TxConfig};
 use hni_sim::Duration;
 use hni_sonet::LineRate;
+use hni_telemetry::{TraceEvent, VecTracer};
 
 /// Packet sizes swept.
 pub const SIZES: [usize; 5] = [64, 1024, 9180, 32768, 65000];
 /// Propagation delay assumed (≈ 1 km of fibre).
 pub const PROPAGATION: Duration = Duration::from_us(5);
+/// Canonical traced packet size (the IP-over-ATM default MTU row).
+pub const TRACE_LEN: usize = 9180;
+
+/// Capture the full event trace of one unloaded end-to-end run — the
+/// raw material the waterfall reducer turns back into this experiment's
+/// per-stage breakdown.
+pub fn trace_run(len: usize) -> Vec<TraceEvent> {
+    let mut tracer = VecTracer::new();
+    run_e2e_instrumented(
+        &TxConfig::paper(LineRate::Oc12),
+        &RxConfig::paper(LineRate::Oc12),
+        &greedy_workload(1, len, VcId::new(0, 32)),
+        PROPAGATION,
+        &mut tracer,
+    );
+    tracer.into_events()
+}
 
 /// Render the breakdown table.
 pub fn run() -> String {
@@ -115,6 +133,43 @@ mod tests {
                 "len {len}: e2e sim {measured} vs analytic total {analytic}"
             );
         }
+    }
+
+    #[test]
+    fn waterfall_reproduces_breakdown_within_tolerance() {
+        use hni_telemetry::Waterfall;
+        let events = trace_run(TRACE_LEN);
+        let w = Waterfall::from_events(&events, 0).expect("packet 0 fully traced");
+        let b = unloaded_latency(
+            TRACE_LEN,
+            &HwPartition::paper_split(),
+            25.0,
+            &BusConfig::default(),
+            LineRate::Oc12,
+            AalType::Aal5,
+            PROPAGATION,
+        );
+        // The trace-derived total must sit within the same tolerance the
+        // e2e simulation itself is held to against the analytic total.
+        let measured = w.total.as_us_f64();
+        let analytic = b.total.as_us_f64();
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(
+            rel < 0.20,
+            "waterfall total {measured} vs analytic {analytic}"
+        );
+        // Stage-level spot checks: propagation is exact by construction,
+        // serialization is the dominant term and must match closely.
+        let stage_us = |label: &str| w.stage(label).expect(label).as_us_f64();
+        assert!((stage_us("propagate") - b.propagation.as_us_f64()).abs() < 1e-9);
+        let ser = stage_us("serialize");
+        let ser_analytic = b.serialization.as_us_f64();
+        assert!(
+            (ser - ser_analytic).abs() / ser_analytic < 0.20,
+            "serialize {ser} vs analytic {ser_analytic}"
+        );
+        // And the telescoping invariant: the stages sum to the total.
+        assert_eq!(w.stage_sum(), w.total);
     }
 
     #[test]

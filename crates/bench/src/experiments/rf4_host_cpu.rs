@@ -108,9 +108,10 @@ mod tests {
 
     #[test]
     fn soft_sar_infeasible_at_oc3_line_rate() {
-        let full = sweep().into_iter().find(|p| {
-            (p.offered_bps - LineRate::Oc3.payload_bps()).abs() < 1.0
-        }).unwrap();
+        let full = sweep()
+            .into_iter()
+            .find(|p| (p.offered_bps - LineRate::Oc3.payload_bps()).abs() < 1.0)
+            .unwrap();
         assert!(full.soft_sar_util > 1.0);
         assert!(full.adaptor_util < 1.0);
     }
@@ -128,7 +129,11 @@ mod tests {
         // fits — the reason the interface reassembles frames contiguous
         // and page-aligned in host memory.
         let oc12 = sweep().into_iter().last().unwrap();
-        assert!(oc12.adaptor_util > 1.0, "copy delivery saturates: {}", oc12.adaptor_util);
+        assert!(
+            oc12.adaptor_util > 1.0,
+            "copy delivery saturates: {}",
+            oc12.adaptor_util
+        );
         assert!(
             oc12.adaptor_remap_util < 1.0,
             "remap must fit: {}",

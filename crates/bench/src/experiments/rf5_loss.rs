@@ -27,7 +27,12 @@ pub fn functional_survival(aal: AalType, len: usize, loss: f64, n_frames: usize,
     b.open_vc(vc).unwrap();
 
     // Cell-level lossy link (rate irrelevant to survival).
-    let mut link = Link::new(1e9, hni_sim::Duration::ZERO, FaultSpec::loss(loss), Rng::new(seed));
+    let mut link = Link::new(
+        1e9,
+        hni_sim::Duration::ZERO,
+        FaultSpec::loss(loss),
+        Rng::new(seed),
+    );
     let mut seg34 = hni_aal::aal34::Aal34Segmenter::new();
 
     // Warm both TC paths up via direct frames.

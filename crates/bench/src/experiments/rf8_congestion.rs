@@ -55,7 +55,10 @@ pub fn congested_port(
         sw.add_route(
             0,
             VcId::new(0, 100 + s as u16),
-            RouteEntry { out_port: 1, out_vc: VcId::new(0, 100 + s as u16) },
+            RouteEntry {
+                out_port: 1,
+                out_vc: VcId::new(0, 100 + s as u16),
+            },
         );
     }
     let mut rng = Rng::new(seed);

@@ -16,7 +16,11 @@ pub fn run() -> String {
         per_task.row([
             r.partition.to_string(),
             r.task.to_string(),
-            if r.in_hardware { "hw".into() } else { "sw".into() },
+            if r.in_hardware {
+                "hw".into()
+            } else {
+                "sw".into()
+            },
             r.engine_instructions.to_string(),
             format!("{:.0}", r.engine_ns),
         ]);

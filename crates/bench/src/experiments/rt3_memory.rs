@@ -39,7 +39,12 @@ pub fn run() -> String {
             if r.o1_access { "yes" } else { "no" }.to_string(),
         ]);
     }
-    let mut m = Table::new(["interleaved VCs", "buffer org", "peak buffers", "peak octets"]);
+    let mut m = Table::new([
+        "interleaved VCs",
+        "buffer org",
+        "peak buffers",
+        "peak octets",
+    ]);
     for &n in &[1usize, 16, 64] {
         for &k in &[1usize, 32] {
             let peak = measured_peak(n, k);
@@ -79,6 +84,9 @@ mod tests {
     fn containers_use_fewer_buffers_than_per_cell() {
         let cells = measured_peak(16, 1);
         let containers = measured_peak(16, 32);
-        assert!(containers * 16 < cells, "containers {containers} cells {cells}");
+        assert!(
+            containers * 16 < cells,
+            "containers {containers} cells {cells}"
+        );
     }
 }

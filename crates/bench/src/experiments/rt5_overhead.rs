@@ -12,7 +12,11 @@ pub fn run() -> String {
         for aal in [AalType::Aal5, AalType::Aal34] {
             let mut t = Table::new(["layer", "rate remaining", "fraction of line"]);
             for step in overhead_waterfall(rate, aal, 9180) {
-                t.row([step.label.clone(), fmt_bps(step.rate_bps), fmt_pct(step.fraction_of_line)]);
+                t.row([
+                    step.label.clone(),
+                    fmt_bps(step.rate_bps),
+                    fmt_pct(step.fraction_of_line),
+                ]);
             }
             out.push_str(&format!("{rate:?} / {aal}:\n{}\n", t.render()));
         }

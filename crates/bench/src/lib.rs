@@ -17,9 +17,36 @@ pub use table::Table;
 
 /// All experiment ids, in report order.
 pub const EXPERIMENT_IDS: [&str; 15] = [
-    "r-t1", "r-t2", "r-t3", "r-t4", "r-t5", "r-f1", "r-f2", "r-f3", "r-f4", "r-f5", "r-f6",
-    "r-f7", "r-f8", "r-a1", "r-a2",
+    "r-t1", "r-t2", "r-t3", "r-t4", "r-t5", "r-f1", "r-f2", "r-f3", "r-f4", "r-f5", "r-f6", "r-f7",
+    "r-f8", "r-a1", "r-a2",
 ];
+
+/// Experiment ids whose underlying runs can be captured as a trace
+/// (`report --trace <id>` / `report metrics <id>`).
+pub const TRACEABLE_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
+
+/// Capture the structured event trace of one experiment's canonical
+/// run. Returns `None` for ids without trace support.
+pub fn trace_experiment(id: &str) -> Option<Vec<hni_telemetry::TraceEvent>> {
+    match id {
+        "r-f1" => Some(experiments::rf1_tx_throughput::trace_run()),
+        "r-f2" => Some(experiments::rf2_rx_throughput::trace_run()),
+        "r-f3" => Some(experiments::rf3_latency::trace_run(
+            experiments::rf3_latency::TRACE_LEN,
+        )),
+        _ => None,
+    }
+}
+
+/// Derive and dump the metrics registry from an experiment's trace.
+pub fn metrics_experiment(id: &str) -> Option<String> {
+    let events = trace_experiment(id)?;
+    let end = events
+        .last()
+        .map(|e| e.time)
+        .unwrap_or(hni_telemetry::Time::ZERO);
+    Some(hni_telemetry::MetricsRegistry::from_trace(&events, end).dump(end))
+}
 
 /// Run one experiment by id, returning its rendered report.
 pub fn run_experiment(id: &str) -> Option<String> {
@@ -59,5 +86,21 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(run_experiment("r-f99").is_none());
+    }
+
+    #[test]
+    fn traceable_ids_yield_events_and_metrics() {
+        for id in TRACEABLE_IDS {
+            let events = trace_experiment(id).unwrap_or_else(|| panic!("{id} untraceable"));
+            assert!(events.len() > 50, "{id}: only {} events", events.len());
+            // Times arrive in simulation order within each pipeline half.
+            let dump = metrics_experiment(id).expect("metrics derivable");
+            assert!(
+                dump.lines().count() >= 5,
+                "{id} metrics dump too thin:\n{dump}"
+            );
+        }
+        assert!(trace_experiment("r-t1").is_none());
+        assert!(metrics_experiment("nope").is_none());
     }
 }

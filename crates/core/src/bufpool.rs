@@ -42,8 +42,7 @@ impl PoolConfig {
     /// 48-octet payload slots plus per-buffer overhead (next pointer,
     /// validity bitmap rounded to whole octets).
     pub fn sram_octets(&self) -> usize {
-        let per_buffer =
-            self.cells_per_buffer * 48 + 4 + self.cells_per_buffer.div_ceil(8);
+        let per_buffer = self.cells_per_buffer * 48 + 4 + self.cells_per_buffer.div_ceil(8);
         self.total_buffers * per_buffer
     }
 }
@@ -233,10 +232,16 @@ mod tests {
     #[test]
     fn sram_accounting() {
         // 256 single-cell buffers: 256 × (48 + 4 + 1) = 13,568 octets.
-        let single = PoolConfig { total_buffers: 256, cells_per_buffer: 1 };
+        let single = PoolConfig {
+            total_buffers: 256,
+            cells_per_buffer: 1,
+        };
         assert_eq!(single.sram_octets(), 256 * 53);
         // 8 × 32-cell containers: 8 × (1536 + 4 + 4) = 12,352.
-        let containers = PoolConfig { total_buffers: 8, cells_per_buffer: 32 };
+        let containers = PoolConfig {
+            total_buffers: 8,
+            cells_per_buffer: 32,
+        };
         assert_eq!(containers.sram_octets(), 8 * 1544);
     }
 

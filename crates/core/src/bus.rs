@@ -209,7 +209,11 @@ mod tests {
         let cfg = BusConfig::default(); // 128 bytes per full burst
         assert_eq!(cfg.bursts_for(128), 1);
         assert_eq!(cfg.bursts_for(129), 2);
-        assert_eq!(cfg.bursts_for(0), 1, "zero-length still needs a descriptor touch");
+        assert_eq!(
+            cfg.bursts_for(0),
+            1,
+            "zero-length still needs a descriptor touch"
+        );
         assert_eq!(cfg.burst_words(129, 0), 32);
         assert_eq!(cfg.burst_words(129, 1), 1); // 1 byte → 1 word
         assert_eq!(cfg.burst_words(130, 1), 1);

@@ -56,7 +56,8 @@ impl Cam {
     /// Install a mapping. Returns `false` (and installs nothing) if the
     /// CAM is full or the index is already in use by another key.
     pub fn insert(&mut self, vc: VcId, index: u16) -> bool {
-        if let std::collections::hash_map::Entry::Occupied(mut e) = self.entries.entry(vc.cam_key()) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.entries.entry(vc.cam_key())
+        {
             // Re-programming an existing key to a new index is allowed.
             e.insert(index);
             return true;
@@ -128,7 +129,10 @@ mod tests {
         let mut cam = Cam::new(2);
         assert!(cam.insert(VcId::new(0, 32), 0));
         assert!(cam.insert(VcId::new(0, 33), 1));
-        assert!(!cam.insert(VcId::new(0, 34), 2), "third entry must be refused");
+        assert!(
+            !cam.insert(VcId::new(0, 34), 2),
+            "third entry must be refused"
+        );
         assert_eq!(cam.len(), 2);
     }
 

@@ -13,10 +13,11 @@
 //! frame boundaries (cells ride a continuous slot stream; framing
 //! overhead is already accounted in the slot rate).
 
-use crate::rxsim::{run_rx_traced, CellArrival, RxConfig, RxPktMeta, RxWorkload};
-use crate::txsim::{run_tx_traced, TxConfig, TxPacket};
+use crate::rxsim::{run_rx_instrumented, CellArrival, RxConfig, RxPktMeta, RxWorkload};
+use crate::txsim::{run_tx_instrumented, TxConfig, TxPacket};
 use hni_aal::AalType;
 use hni_sim::{Duration, Summary, Time};
+use hni_telemetry::{NullTracer, Tracer};
 use std::collections::HashMap;
 
 /// End-to-end results.
@@ -44,11 +45,25 @@ pub fn run_e2e(
     packets: &[TxPacket],
     propagation: Duration,
 ) -> E2eReport {
+    run_e2e_instrumented(tx_cfg, rx_cfg, packets, propagation, &mut NullTracer)
+}
+
+/// [`run_e2e`] with a tracer observing both pipeline halves on one
+/// shared timeline: receive-side events carry wire-arrival clocks, so a
+/// single trace stream spans descriptor fetch at A through completion
+/// at B (the R-F3 waterfall's raw material).
+pub fn run_e2e_instrumented(
+    tx_cfg: &TxConfig,
+    rx_cfg: &RxConfig,
+    packets: &[TxPacket],
+    propagation: Duration,
+    tracer: &mut dyn Tracer,
+) -> E2eReport {
     assert_eq!(
         tx_cfg.aal, rx_cfg.aal,
         "both ends must speak the same adaptation layer"
     );
-    let (tx_report, departures) = run_tx_traced(tx_cfg, packets);
+    let (tx_report, departures) = run_tx_instrumented(tx_cfg, packets, tracer);
 
     // Packet table: connection indices assigned per VC, cell counts from
     // the AAL arithmetic.
@@ -75,7 +90,7 @@ pub fn run_e2e(
         })
         .collect();
     let wl = RxWorkload { arrivals, pkts };
-    let (rx_report, completions) = run_rx_traced(rx_cfg, &wl);
+    let (rx_report, completions) = run_rx_instrumented(rx_cfg, &wl, tracer);
 
     let mut latency = Summary::new();
     let mut delivered_octets = 0u64;
@@ -113,13 +128,21 @@ mod tests {
     use hni_sonet::LineRate;
 
     fn paper_pair() -> (TxConfig, RxConfig) {
-        (TxConfig::paper(LineRate::Oc12), RxConfig::paper(LineRate::Oc12))
+        (
+            TxConfig::paper(LineRate::Oc12),
+            RxConfig::paper(LineRate::Oc12),
+        )
     }
 
     #[test]
     fn everything_arrives_unloaded() {
         let (txc, rxc) = paper_pair();
-        let r = run_e2e(&txc, &rxc, &greedy_workload(10, 9180, VcId::new(0, 32)), Duration::from_us(5));
+        let r = run_e2e(
+            &txc,
+            &rxc,
+            &greedy_workload(10, 9180, VcId::new(0, 32)),
+            Duration::from_us(5),
+        );
         assert_eq!(r.delivered, 10);
         assert_eq!(r.rx.failed_packets, 0);
         assert!(r.latency_us.count() == 10);
@@ -129,7 +152,12 @@ mod tests {
     fn single_packet_latency_close_to_analytic_total() {
         let (txc, rxc) = paper_pair();
         let prop = Duration::from_us(5);
-        let r = run_e2e(&txc, &rxc, &greedy_workload(1, 9180, VcId::new(0, 32)), prop);
+        let r = run_e2e(
+            &txc,
+            &rxc,
+            &greedy_workload(1, 9180, VcId::new(0, 32)),
+            prop,
+        );
         let analytic = hni_analysis_total_us(9180, prop);
         let measured = r.latency_us.mean();
         let rel = (measured - analytic).abs() / analytic;
@@ -165,8 +193,18 @@ mod tests {
     #[test]
     fn propagation_adds_linearly() {
         let (txc, rxc) = paper_pair();
-        let near = run_e2e(&txc, &rxc, &greedy_workload(1, 4096, VcId::new(0, 32)), Duration::from_us(5));
-        let far = run_e2e(&txc, &rxc, &greedy_workload(1, 4096, VcId::new(0, 32)), Duration::from_ms(5));
+        let near = run_e2e(
+            &txc,
+            &rxc,
+            &greedy_workload(1, 4096, VcId::new(0, 32)),
+            Duration::from_us(5),
+        );
+        let far = run_e2e(
+            &txc,
+            &rxc,
+            &greedy_workload(1, 4096, VcId::new(0, 32)),
+            Duration::from_ms(5),
+        );
         let delta = far.latency_us.mean() - near.latency_us.mean();
         assert!((delta - 4995.0).abs() < 1.0, "delta {delta}");
     }
@@ -174,8 +212,18 @@ mod tests {
     #[test]
     fn latency_under_load_exceeds_unloaded() {
         let (txc, rxc) = paper_pair();
-        let unloaded = run_e2e(&txc, &rxc, &greedy_workload(1, 9180, VcId::new(0, 32)), Duration::ZERO);
-        let loaded = run_e2e(&txc, &rxc, &greedy_workload(40, 9180, VcId::new(0, 32)), Duration::ZERO);
+        let unloaded = run_e2e(
+            &txc,
+            &rxc,
+            &greedy_workload(1, 9180, VcId::new(0, 32)),
+            Duration::ZERO,
+        );
+        let loaded = run_e2e(
+            &txc,
+            &rxc,
+            &greedy_workload(40, 9180, VcId::new(0, 32)),
+            Duration::ZERO,
+        );
         // Queueing: the mean latency of a deep backlog is far above one
         // packet's pipeline latency (packets wait for the link).
         assert!(

@@ -120,6 +120,27 @@ impl TaskKind {
         )
     }
 
+    /// The telemetry stage tag this task's engine span is recorded
+    /// under, for tasks that map one-to-one onto a pipeline stage.
+    /// `None` for tasks folded into a bundled span (the CRC and HEC
+    /// assists ride inside the per-cell segmentation / receive spans).
+    pub fn trace_stage(self) -> Option<hni_telemetry::Stage> {
+        use hni_telemetry::Stage;
+        match self {
+            TaskKind::TxPacketSetup => Some(Stage::TxSetup),
+            TaskKind::TxDmaBurst => Some(Stage::TxDmaBurst),
+            TaskKind::TxCellSegment => Some(Stage::TxSegment),
+            TaskKind::TxCellCrc | TaskKind::TxHec => None,
+            TaskKind::TxPacketComplete => Some(Stage::TxComplete),
+            TaskKind::RxHec => Some(Stage::RxHec),
+            TaskKind::RxVciLookup => Some(Stage::RxCamLookup),
+            TaskKind::RxCellEnqueue | TaskKind::RxCellCrc => None,
+            TaskKind::RxPacketValidate => Some(Stage::RxValidate),
+            TaskKind::RxDmaBurst => Some(Stage::RxDmaBurst),
+            TaskKind::RxPacketComplete => Some(Stage::RxComplete),
+        }
+    }
+
     /// Short human-readable label for tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -333,10 +354,14 @@ impl ProtocolEngine {
     /// Engine instructions consumed per *cell* on the transmit path
     /// (excluding per-packet and per-burst work).
     pub fn tx_per_cell_instructions(&self) -> u32 {
-        [TaskKind::TxCellSegment, TaskKind::TxCellCrc, TaskKind::TxHec]
-            .into_iter()
-            .map(|t| self.partition.engine_instructions(&self.costs, t))
-            .sum()
+        [
+            TaskKind::TxCellSegment,
+            TaskKind::TxCellCrc,
+            TaskKind::TxHec,
+        ]
+        .into_iter()
+        .map(|t| self.partition.engine_instructions(&self.costs, t))
+        .sum()
     }
 
     /// Engine instructions consumed per *cell* on the receive path.
@@ -384,8 +409,11 @@ mod tests {
     #[test]
     fn per_cell_per_packet_partition_is_complete() {
         for t in TaskKind::ALL {
-            let classes =
-                [t.is_per_cell(), t.is_per_packet(), matches!(t, TaskKind::TxDmaBurst | TaskKind::RxDmaBurst)];
+            let classes = [
+                t.is_per_cell(),
+                t.is_per_packet(),
+                matches!(t, TaskKind::TxDmaBurst | TaskKind::RxDmaBurst),
+            ];
             assert_eq!(classes.iter().filter(|&&c| c).count(), 1, "{t:?}");
         }
     }
@@ -454,9 +482,28 @@ mod tests {
     }
 
     #[test]
+    fn bundled_tasks_have_no_own_stage() {
+        // CRC and HEC assists ride inside the segmentation / per-cell
+        // receive spans; everything else tags its own stage.
+        for t in TaskKind::ALL {
+            let bundled = matches!(
+                t,
+                TaskKind::TxCellCrc
+                    | TaskKind::TxHec
+                    | TaskKind::RxCellEnqueue
+                    | TaskKind::RxCellCrc
+            );
+            assert_eq!(t.trace_stage().is_none(), bundled, "{t:?}");
+        }
+    }
+
+    #[test]
     fn instructions_lookup_matches_fields() {
         let c = TaskCosts::default();
         assert_eq!(c.instructions(TaskKind::TxPacketSetup), c.tx_packet_setup);
-        assert_eq!(c.instructions(TaskKind::RxPacketComplete), c.rx_packet_complete);
+        assert_eq!(
+            c.instructions(TaskKind::RxPacketComplete),
+            c.rx_packet_complete
+        );
     }
 }

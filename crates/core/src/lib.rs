@@ -36,7 +36,7 @@ pub use bus::{Bus, BusConfig};
 pub use cam::{Cam, CamResult};
 pub use config::NicConfig;
 pub use driver::{DriverConfig, DriverError, HostDriver, RxPacket};
-pub use e2esim::{run_e2e, E2eReport};
+pub use e2esim::{run_e2e, run_e2e_instrumented, E2eReport};
 pub use engine::{HwPartition, ProtocolEngine, TaskCosts, TaskKind};
 pub use nic::{Nic, NicEvent};
 pub use rxsim::{run_rx, RxConfig, RxReport, RxWorkload};

@@ -52,6 +52,7 @@ use hni_aal::{AalType, ReassemblyFailure};
 use hni_atm::{Cell, VcId};
 use hni_sim::Time;
 use hni_sonet::{TcReceiver, TcTransmitter};
+use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer};
 use std::collections::VecDeque;
 
 /// What the interface reports up to the host driver.
@@ -258,17 +259,46 @@ impl Nic {
     /// Feed octets received from the line; events become available via
     /// [`Nic::poll`].
     pub fn receive_line_octets(&mut self, octets: &[u8], now: Time) {
+        self.receive_line_octets_instrumented(octets, now, &mut NullTracer)
+    }
+
+    /// [`Nic::receive_line_octets`] with a tracer observing the per-cell
+    /// receive boundaries the functional path crosses discretely: HEC
+    /// acceptance (delineation hands the cell up) and the CAM / VCI
+    /// lookup (arg = 1 hit, 0 miss).
+    pub fn receive_line_octets_instrumented(
+        &mut self,
+        octets: &[u8],
+        now: Time,
+        tracer: &mut dyn Tracer,
+    ) {
         let mut cells = Vec::new();
         self.tc_rx.push_bytes(octets, &mut cells);
         for cell in cells {
+            if tracer.enabled() {
+                // A cell only emerges from the TC receiver once its HEC
+                // passed inside cell delineation.
+                tracer.record(TraceEvent::instant(now, Stage::RxHec));
+            }
             let Ok(header) = cell.header() else { continue };
             let vc = header.vc();
-            if matches!(self.cam.lookup(vc), CamResult::Miss) {
+            let miss = matches!(self.cam.lookup(vc), CamResult::Miss);
+            if tracer.enabled() {
+                tracer.record(
+                    TraceEvent::instant(now, Stage::RxCamLookup)
+                        .vc(vc.cam_key())
+                        .arg(u64::from(!miss)),
+                );
+            }
+            if miss {
                 self.unknown_vc_cells += 1;
                 self.events.push_back(NicEvent::UnknownVc(vc));
                 continue;
             }
-            if matches!(header.pti, hni_atm::Pti::OamEndToEnd | hni_atm::Pti::OamSegment) {
+            if matches!(
+                header.pti,
+                hni_atm::Pti::OamEndToEnd | hni_atm::Pti::OamSegment
+            ) {
                 self.handle_oam(vc, &cell);
                 continue;
             }
@@ -280,6 +310,13 @@ impl Nic {
                 None => {}
                 Some(Ok(sdu)) => {
                     self.sdus_received += 1;
+                    if tracer.enabled() {
+                        tracer.record(
+                            TraceEvent::instant(now, Stage::RxReasmComplete)
+                                .vc(sdu.vc.cam_key())
+                                .arg(sdu.data.len() as u64),
+                        );
+                    }
                     self.events.push_back(NicEvent::PacketReceived {
                         vc: sdu.vc,
                         mid: sdu.mid,
@@ -427,7 +464,9 @@ mod tests {
         pump(&mut a, &mut b, 12);
         a.send(vc, vec![1, 2, 3], Time::ZERO).unwrap();
         let evs = pump(&mut a, &mut b, 5);
-        assert!(evs.iter().all(|e| matches!(e, NicEvent::UnknownVc(v) if *v == vc)));
+        assert!(evs
+            .iter()
+            .all(|e| matches!(e, NicEvent::UnknownVc(v) if *v == vc)));
         assert!(b.unknown_vc_cells() > 0);
         assert_eq!(b.sdus_received(), 0);
     }

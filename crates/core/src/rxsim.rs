@@ -32,6 +32,7 @@ use crate::engine::{HwPartition, ProtocolEngine, TaskKind};
 use hni_aal::AalType;
 use hni_sim::{Duration, EventQueue, Summary, Time};
 use hni_sonet::LineRate;
+use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer};
 use std::collections::VecDeque;
 
 /// Receive-pipeline configuration.
@@ -133,8 +134,7 @@ impl RxWorkload {
             // per-VC contiguously: v*pkts_per_vc ..).
             streams.push((v * pkts_per_vc, 0));
         }
-        let interval =
-            Duration::from_s_f64(rate.cell_slot_time().as_s_f64() / load);
+        let interval = Duration::from_s_f64(rate.cell_slot_time().as_s_f64() / load);
         let total_cells = n_vcs * pkts_per_vc * cells_per_pkt;
         let mut arrivals = Vec::with_capacity(total_cells);
         let mut t = Time::ZERO;
@@ -153,7 +153,11 @@ impl RxWorkload {
             }
             let (p, c) = streams[v];
             let is_last = c + 1 == cells_per_pkt;
-            arrivals.push(CellArrival { at: t, pkt: p, is_last });
+            arrivals.push(CellArrival {
+                at: t,
+                pkt: p,
+                is_last,
+            });
             streams[v] = if is_last { (p + 1, 0) } else { (p, c + 1) };
             v = (v + 1) % n_vcs;
             t += interval;
@@ -224,14 +228,28 @@ struct PktState {
 
 /// Run the receive pipeline over a workload.
 pub fn run_rx(cfg: &RxConfig, wl: &RxWorkload) -> RxReport {
-    run_rx_inner(cfg, wl, &mut None)
+    run_rx_inner(cfg, wl, &mut None, &mut NullTracer)
 }
 
 /// Like [`run_rx`], additionally returning each packet's completion
 /// time (`None` for packets that never completed).
 pub fn run_rx_traced(cfg: &RxConfig, wl: &RxWorkload) -> (RxReport, Vec<Option<Time>>) {
     let mut completions = Some(vec![None; wl.pkts.len()]);
-    let report = run_rx_inner(cfg, wl, &mut completions);
+    let report = run_rx_inner(cfg, wl, &mut completions, &mut NullTracer);
+    (report, completions.expect("trace requested"))
+}
+
+/// Like [`run_rx_traced`], emitting a structured [`TraceEvent`] at every
+/// pipeline stage boundary (cell arrival, FIFO admission/drop, per-cell
+/// engine spans, reassembly appends, validation, delivery DMA,
+/// completion) into `tracer`.
+pub fn run_rx_instrumented(
+    cfg: &RxConfig,
+    wl: &RxWorkload,
+    tracer: &mut dyn Tracer,
+) -> (RxReport, Vec<Option<Time>>) {
+    let mut completions = Some(vec![None; wl.pkts.len()]);
+    let report = run_rx_inner(cfg, wl, &mut completions, tracer);
     (report, completions.expect("trace requested"))
 }
 
@@ -239,6 +257,7 @@ fn run_rx_inner(
     cfg: &RxConfig,
     wl: &RxWorkload,
     completions: &mut Option<Vec<Option<Time>>>,
+    tracer: &mut dyn Tracer,
 ) -> RxReport {
     let engine = ProtocolEngine::new(cfg.mips, cfg.partition.clone());
     let mut bus = Bus::new(cfg.bus);
@@ -257,7 +276,11 @@ fn run_rx_inner(
             first_arrival: None,
             doomed: false,
             bursts_issued: 0,
-            bursts_total: if m.len == 0 { 0 } else { cfg.bus.bursts_for(m.len) },
+            bursts_total: if m.len == 0 {
+                0
+            } else {
+                cfg.bus.bursts_for(m.len)
+            },
         })
         .collect();
 
@@ -281,7 +304,7 @@ fn run_rx_inner(
         + engine.task_time(TaskKind::RxCellCrc);
 
     macro_rules! kick_engine {
-        ($q:expr) => {
+        ($q:expr, $now:expr) => {
             if !engine_busy {
                 // Cells first — an unconsumed cell is a lost cell.
                 let task = if let Some((p, last)) = fifo.pop_front() {
@@ -298,6 +321,27 @@ fn run_rx_inner(
                         RTask::Complete(_) => engine.task_time(TaskKind::RxPacketComplete),
                     };
                     engine_busy_total += t;
+                    if tracer.enabled() {
+                        // Open a span for the bundled per-cell work and the
+                        // per-packet tasks (closed at EngineDone).
+                        let stage = match task {
+                            RTask::Cell(p, _) => Some((Stage::RxCell, p)),
+                            RTask::Validate(p) => {
+                                TaskKind::RxPacketValidate.trace_stage().map(|s| (s, p))
+                            }
+                            RTask::Complete(p) => {
+                                TaskKind::RxPacketComplete.trace_stage().map(|s| (s, p))
+                            }
+                            RTask::Burst(_) => None,
+                        };
+                        if let Some((stage, p)) = stage {
+                            tracer.record(
+                                TraceEvent::enter($now, stage)
+                                    .vc(wl.pkts[p].conn as u32)
+                                    .pkt(p),
+                            );
+                        }
+                    }
                     $q.schedule_in(t, REv::EngineDone(task));
                 }
             }
@@ -308,6 +352,15 @@ fn run_rx_inner(
         match ev {
             REv::CellArrive(i) => {
                 let a = wl.arrivals[i];
+                let conn = wl.pkts[a.pkt].conn as u32;
+                if tracer.enabled() {
+                    tracer.record(
+                        TraceEvent::instant(now, Stage::RxCellArrive)
+                            .vc(conn)
+                            .pkt(a.pkt)
+                            .cell(i as u64),
+                    );
+                }
                 let st = &mut pkts[a.pkt];
                 if st.first_arrival.is_none() {
                     st.first_arrival = Some(now);
@@ -315,34 +368,82 @@ fn run_rx_inner(
                 if fifo.len() >= cfg.fifo_cells {
                     dropped_fifo += 1;
                     st.doomed = true;
+                    if tracer.enabled() {
+                        tracer.record(
+                            TraceEvent::instant(now, Stage::RxFifoDrop)
+                                .vc(conn)
+                                .pkt(a.pkt)
+                                .cell(i as u64),
+                        );
+                    }
                 } else {
                     fifo.push_back((a.pkt, a.is_last));
                     fifo_peak = fifo_peak.max(fifo.len() as u64);
+                    if tracer.enabled() {
+                        tracer.record(
+                            TraceEvent::instant(now, Stage::RxFifoEnqueue)
+                                .vc(conn)
+                                .pkt(a.pkt)
+                                .cell(i as u64)
+                                .arg(fifo.len() as u64),
+                        );
+                    }
                 }
-                kick_engine!(q);
+                kick_engine!(q, now);
             }
             REv::EngineDone(task) => {
                 engine_busy = false;
                 match task {
                     RTask::Cell(p, is_last) => {
-                        let meta = &wl.pkts[p];
+                        let conn = wl.pkts[p].conn as u32;
+                        if tracer.enabled() {
+                            tracer.record(TraceEvent::exit(now, Stage::RxCell).vc(conn).pkt(p));
+                        }
                         let st = &mut pkts[p];
                         st.cells_seen += 1;
-                        if pool.append_cell(now, p as u32).is_err() {
+                        let appended = pool.append_cell(now, p as u32).is_ok();
+                        if !appended {
                             dropped_pool += 1;
                             st.doomed = true;
                         }
-                        let _ = meta;
+                        if tracer.enabled() {
+                            let stage = if appended {
+                                Stage::RxReasmAppend
+                            } else {
+                                Stage::RxPoolDrop
+                            };
+                            tracer.record(
+                                TraceEvent::instant(now, stage)
+                                    .vc(conn)
+                                    .pkt(p)
+                                    .arg(st.cells_seen as u64),
+                            );
+                        }
                         if is_last {
                             if st.doomed {
                                 // Abandon: free whatever was chained.
                                 pool.release_chain(now, p as u32);
                             } else {
+                                if tracer.enabled() {
+                                    tracer.record(
+                                        TraceEvent::instant(now, Stage::RxReasmComplete)
+                                            .vc(conn)
+                                            .pkt(p)
+                                            .arg(st.cells_seen as u64),
+                                    );
+                                }
                                 task_q.push_back(RTask::Validate(p));
                             }
                         }
                     }
                     RTask::Validate(p) => {
+                        if tracer.enabled() {
+                            tracer.record(
+                                TraceEvent::exit(now, Stage::RxValidate)
+                                    .vc(wl.pkts[p].conn as u32)
+                                    .pkt(p),
+                            );
+                        }
                         // Validation passed (the functional data path
                         // checks bytes; here loss is the only failure
                         // mode and doomed packets never validate).
@@ -367,6 +468,16 @@ fn run_rx_inner(
                     }
                     RTask::Complete(p) => {
                         let meta = &wl.pkts[p];
+                        if tracer.enabled() {
+                            let conn = meta.conn as u32;
+                            tracer.record(TraceEvent::exit(now, Stage::RxComplete).vc(conn).pkt(p));
+                            tracer.record(
+                                TraceEvent::instant(now, Stage::CompletionPush)
+                                    .vc(conn)
+                                    .pkt(p)
+                                    .arg(meta.len as u64),
+                            );
+                        }
                         pool.release_chain(now, p as u32);
                         delivered_packets += 1;
                         delivered_octets += meta.len as u64;
@@ -379,9 +490,17 @@ fn run_rx_inner(
                         }
                     }
                 }
-                kick_engine!(q);
+                kick_engine!(q, now);
             }
             REv::BusDone(p) => {
+                if tracer.enabled() {
+                    tracer.record(
+                        TraceEvent::instant(now, Stage::RxDmaBurst)
+                            .vc(wl.pkts[p].conn as u32)
+                            .pkt(p)
+                            .arg(pkts[p].bursts_issued as u64),
+                    );
+                }
                 let st = &mut pkts[p];
                 if st.bursts_issued < st.bursts_total {
                     st.bursts_issued += 1;
@@ -396,7 +515,7 @@ fn run_rx_inner(
                 } else {
                     task_q.push_back(RTask::Complete(p));
                 }
-                kick_engine!(q);
+                kick_engine!(q, now);
             }
         }
     }
@@ -458,8 +577,7 @@ mod tests {
         // (A percent-level drain tail remains: the 8 interleaved VCs all
         // complete within a few slots of each other and their delivery
         // DMAs serialize on the bus after the last cell has arrived.)
-        let ceiling = LineRate::Oc12.payload_bps() * (48.0 / 53.0)
-            * AalType::Aal5.efficiency(9180);
+        let ceiling = LineRate::Oc12.payload_bps() * (48.0 / 53.0) * AalType::Aal5.efficiency(9180);
         assert!(
             r.goodput_bps > 0.95 * ceiling,
             "goodput {} vs ceiling {ceiling}",
@@ -494,7 +612,10 @@ mod tests {
     fn pool_exhaustion_with_many_interleaved_vcs() {
         let mut cfg = RxConfig::paper(LineRate::Oc12);
         // Tiny pool: 4 containers of 32 cells.
-        cfg.pool = PoolConfig { total_buffers: 4, cells_per_buffer: 32 };
+        cfg.pool = PoolConfig {
+            total_buffers: 4,
+            cells_per_buffer: 32,
+        };
         // 64 VCs interleaving 9180-byte frames (192 cells each): every VC
         // needs ~6 containers concurrently. Must exhaust.
         let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 64, 1, 9180, 1.0);

@@ -35,6 +35,7 @@ use hni_aal::AalType;
 use hni_atm::{Gcra, VcId};
 use hni_sim::{Duration, EventQueue, Summary, Time};
 use hni_sonet::LineRate;
+use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -178,7 +179,7 @@ pub struct CellDeparture {
 
 /// Run the transmit pipeline over `packets` (need not be sorted).
 pub fn run_tx(cfg: &TxConfig, packets: &[TxPacket]) -> TxReport {
-    run_tx_inner(cfg, packets, &mut None)
+    run_tx_inner(cfg, packets, &mut None, &mut NullTracer)
 }
 
 /// Like [`run_tx`], additionally returning every cell's departure time —
@@ -186,7 +187,20 @@ pub fn run_tx(cfg: &TxConfig, packets: &[TxPacket]) -> TxReport {
 /// receive pipeline.
 pub fn run_tx_traced(cfg: &TxConfig, packets: &[TxPacket]) -> (TxReport, Vec<CellDeparture>) {
     let mut trace = Some(Vec::new());
-    let report = run_tx_inner(cfg, packets, &mut trace);
+    let report = run_tx_inner(cfg, packets, &mut trace, &mut NullTracer);
+    (report, trace.expect("trace requested"))
+}
+
+/// Like [`run_tx_traced`], emitting a structured [`TraceEvent`] at every
+/// pipeline stage boundary (descriptor fetch, setup span, DMA bursts,
+/// segmentation spans, FIFO admission, framer hand-off) into `tracer`.
+pub fn run_tx_instrumented(
+    cfg: &TxConfig,
+    packets: &[TxPacket],
+    tracer: &mut dyn Tracer,
+) -> (TxReport, Vec<CellDeparture>) {
+    let mut trace = Some(Vec::new());
+    let report = run_tx_inner(cfg, packets, &mut trace, tracer);
     (report, trace.expect("trace requested"))
 }
 
@@ -194,6 +208,7 @@ fn run_tx_inner(
     cfg: &TxConfig,
     packets: &[TxPacket],
     trace: &mut Option<Vec<CellDeparture>>,
+    tracer: &mut dyn Tracer,
 ) -> TxReport {
     let engine = ProtocolEngine::new(cfg.mips, cfg.partition.clone());
     let mut bus = Bus::new(cfg.bus);
@@ -230,7 +245,7 @@ fn run_tx_inner(
     // Helper closures are impossible with this much shared state; a
     // small macro keeps the engine dispatch readable instead.
     macro_rules! kick_engine {
-        ($q:expr) => {
+        ($q:expr, $now:expr) => {
             if !engine_busy {
                 if let Some(task) = engine_q.pop_front() {
                     engine_busy = true;
@@ -245,6 +260,27 @@ fn run_tx_inner(
                         ETask::Complete(_) => engine.task_time(TaskKind::TxPacketComplete),
                     };
                     engine_busy_total += t;
+                    if tracer.enabled() {
+                        // Open a span for the engine's per-packet setup and
+                        // per-cell segmentation work (closed at EngineDone).
+                        let stage = match task {
+                            ETask::Setup(_) => TaskKind::TxPacketSetup.trace_stage(),
+                            ETask::Cell(_) => TaskKind::TxCellSegment.trace_stage(),
+                            ETask::Complete(_) => TaskKind::TxPacketComplete.trace_stage(),
+                            ETask::Burst(_) => None,
+                        };
+                        let (ETask::Setup(ci)
+                        | ETask::Burst(ci)
+                        | ETask::Cell(ci)
+                        | ETask::Complete(ci)) = task;
+                        if let (Some(stage), Some(pkt)) = (stage, ctxs[ci].cur.as_ref()) {
+                            tracer.record(
+                                TraceEvent::enter($now, stage)
+                                    .vc(ctxs[ci].vc.cam_key())
+                                    .pkt(pkt.idx),
+                            );
+                        }
+                    }
                     $q.schedule_in(t, Ev::EngineDone(task));
                 }
             }
@@ -267,6 +303,13 @@ fn run_tx_inner(
         match ev {
             Ev::Arrive(i) => {
                 let p = &packets[i];
+                if tracer.enabled() {
+                    tracer.record(
+                        TraceEvent::instant(now, Stage::TxDescriptor)
+                            .vc(p.vc.cam_key())
+                            .pkt(i),
+                    );
+                }
                 let ci = *ctx_of.entry(p.vc).or_insert_with(|| {
                     ctxs.push(VcCtx {
                         index: ctxs.len(),
@@ -281,19 +324,37 @@ fn run_tx_inner(
                 ctxs[ci].waiting.push_back(i);
                 if ctxs[ci].cur.is_none() {
                     start_next_packet(&mut ctxs[ci], packets, cfg, &mut engine_q);
-                    kick_engine!(q);
+                    kick_engine!(q, now);
                 }
             }
             Ev::EngineDone(task) => {
                 engine_busy = false;
                 match task {
                     ETask::Setup(ci) => {
+                        if tracer.enabled() {
+                            let c = &ctxs[ci];
+                            let idx = c.cur.as_ref().expect("setup without packet").idx;
+                            tracer.record(
+                                TraceEvent::exit(now, Stage::TxSetup)
+                                    .vc(c.vc.cam_key())
+                                    .pkt(idx),
+                            );
+                        }
                         let pkt = ctxs[ci].cur.as_mut().expect("setup without packet");
                         if pkt.bursts_total == 0 || pkt.len == 0 {
                             pkt.bytes_fetched = pkt.len;
                             try_start_cell(&mut ctxs[ci], &mut engine_q, payload_per_cell);
                         } else {
-                            issue_burst(ci, &mut ctxs[ci], cfg, &engine, &mut engine_q, &mut bus, now, &mut q);
+                            issue_burst(
+                                ci,
+                                &mut ctxs[ci],
+                                cfg,
+                                &engine,
+                                &mut engine_q,
+                                &mut bus,
+                                now,
+                                &mut q,
+                            );
                         }
                     }
                     ETask::Burst(ci) => {
@@ -301,8 +362,10 @@ fn run_tx_inner(
                         let pkt = ctxs[ci].cur.as_ref().expect("burst without packet");
                         let bi = pkt.bursts_issued - 1;
                         let words = cfg.bus.burst_words(pkt.len.max(1), bi);
-                        let bytes = (words as usize * cfg.bus.word_bytes)
-                            .min(pkt.len.saturating_sub(bi as usize * cfg.bus.max_burst_words as usize * cfg.bus.word_bytes));
+                        let bytes =
+                            (words as usize * cfg.bus.word_bytes).min(pkt.len.saturating_sub(
+                                bi as usize * cfg.bus.max_burst_words as usize * cfg.bus.word_bytes,
+                            ));
                         let done = bus.grant(now, words, bytes);
                         q.schedule(done, Ev::BurstDone(ci));
                     }
@@ -310,13 +373,41 @@ fn run_tx_inner(
                         let pkt = ctxs[ci].cur.as_mut().expect("cell without packet");
                         pkt.cells_built += 1;
                         pkt.cell_state = CellState::BuiltWaiting;
+                        if tracer.enabled() {
+                            let c = &ctxs[ci];
+                            let pkt = c.cur.as_ref().expect("cell without packet");
+                            tracer.record(
+                                TraceEvent::exit(now, Stage::TxSegment)
+                                    .vc(c.vc.cam_key())
+                                    .pkt(pkt.idx)
+                                    .cell(pkt.cells_built as u64 - 1),
+                            );
+                        }
                         attempt_push(
-                            ci, &mut ctxs, cfg, now, &mut q, &mut fifo, &mut fifo_peak,
-                            &mut pending_push, &mut engine_q, payload_per_cell,
+                            ci,
+                            &mut ctxs,
+                            cfg,
+                            now,
+                            &mut q,
+                            &mut fifo,
+                            &mut fifo_peak,
+                            &mut pending_push,
+                            &mut engine_q,
+                            payload_per_cell,
+                            tracer,
                         );
                         ensure_framer!(q);
                     }
                     ETask::Complete(ci) => {
+                        if tracer.enabled() {
+                            let c = &ctxs[ci];
+                            let idx = c.cur.as_ref().expect("complete without packet").idx;
+                            tracer.record(
+                                TraceEvent::exit(now, Stage::TxComplete)
+                                    .vc(c.vc.cam_key())
+                                    .pkt(idx),
+                            );
+                        }
                         let ctx = &mut ctxs[ci];
                         ctx.cur = None;
                         if !ctx.waiting.is_empty() {
@@ -324,35 +415,79 @@ fn run_tx_inner(
                         }
                     }
                 }
-                kick_engine!(q);
+                kick_engine!(q, now);
             }
             Ev::BurstDone(ci) => {
-                let (more, _) = {
+                let (more, added, idx) = {
                     let pkt = ctxs[ci].cur.as_mut().expect("burst done without packet");
                     let per = cfg.bus.max_burst_words as usize * cfg.bus.word_bytes;
-                    pkt.bytes_fetched = (pkt.bytes_fetched + per).min(pkt.len);
-                    (pkt.bursts_issued < pkt.bursts_total, pkt.bytes_fetched)
+                    let before = pkt.bytes_fetched;
+                    pkt.bytes_fetched = (before + per).min(pkt.len);
+                    (
+                        pkt.bursts_issued < pkt.bursts_total,
+                        pkt.bytes_fetched - before,
+                        pkt.idx,
+                    )
                 };
+                if tracer.enabled() {
+                    tracer.record(
+                        TraceEvent::instant(now, Stage::TxDmaBurst)
+                            .vc(ctxs[ci].vc.cam_key())
+                            .pkt(idx)
+                            .arg(added as u64),
+                    );
+                }
                 if more {
-                    issue_burst(ci, &mut ctxs[ci], cfg, &engine, &mut engine_q, &mut bus, now, &mut q);
+                    issue_burst(
+                        ci,
+                        &mut ctxs[ci],
+                        cfg,
+                        &engine,
+                        &mut engine_q,
+                        &mut bus,
+                        now,
+                        &mut q,
+                    );
                 }
                 try_start_cell(&mut ctxs[ci], &mut engine_q, payload_per_cell);
-                kick_engine!(q);
+                kick_engine!(q, now);
             }
             Ev::PacerRelease(ci) => {
                 attempt_push(
-                    ci, &mut ctxs, cfg, now, &mut q, &mut fifo, &mut fifo_peak,
-                    &mut pending_push, &mut engine_q, payload_per_cell,
+                    ci,
+                    &mut ctxs,
+                    cfg,
+                    now,
+                    &mut q,
+                    &mut fifo,
+                    &mut fifo_peak,
+                    &mut pending_push,
+                    &mut engine_q,
+                    payload_per_cell,
+                    tracer,
                 );
                 ensure_framer!(q);
-                kick_engine!(q);
+                kick_engine!(q, now);
             }
             Ev::FramerSlot => {
                 slots_elapsed += 1;
                 if let Some((ci, is_last, pkt_idx)) = fifo.pop_front() {
                     cells_sent += 1;
+                    if tracer.enabled() {
+                        tracer.record(
+                            TraceEvent::instant(now, Stage::TxFramer)
+                                .vc(ctxs[ci].vc.cam_key())
+                                .pkt(pkt_idx)
+                                .cell(cells_sent - 1)
+                                .arg(fifo.len() as u64),
+                        );
+                    }
                     if let Some(t) = trace.as_mut() {
-                        t.push(CellDeparture { at: now, pkt: pkt_idx, is_last });
+                        t.push(CellDeparture {
+                            at: now,
+                            pkt: pkt_idx,
+                            is_last,
+                        });
                     }
                     finished_at = now;
                     let ctx = &mut ctxs[ci];
@@ -375,16 +510,27 @@ fn run_tx_inner(
                     rounds -= 1;
                     if let Some(ci) = pending_push.pop_front() {
                         attempt_push(
-                            ci, &mut ctxs, cfg, now, &mut q, &mut fifo, &mut fifo_peak,
-                            &mut pending_push, &mut engine_q, payload_per_cell,
+                            ci,
+                            &mut ctxs,
+                            cfg,
+                            now,
+                            &mut q,
+                            &mut fifo,
+                            &mut fifo_peak,
+                            &mut pending_push,
+                            &mut engine_q,
+                            payload_per_cell,
+                            tracer,
                         );
                     }
                 }
-                kick_engine!(q);
+                kick_engine!(q, now);
                 // Keep the framer running while anything is in flight.
                 let work_left = !fifo.is_empty()
                     || !pending_push.is_empty()
-                    || ctxs.iter().any(|c| c.cur.is_some() || !c.waiting.is_empty())
+                    || ctxs
+                        .iter()
+                        .any(|c| c.cur.is_some() || !c.waiting.is_empty())
                     || !engine_q.is_empty()
                     || engine_busy
                     || !q.is_empty();
@@ -437,7 +583,11 @@ fn start_next_packet(
     let idx = ctx.waiting.pop_front().expect("caller checked non-empty");
     let p = &packets[idx];
     let cells_total = cfg.aal.cells_for_sdu(p.len).max(1);
-    let bursts_total = if p.len == 0 { 0 } else { cfg.bus.bursts_for(p.len) };
+    let bursts_total = if p.len == 0 {
+        0
+    } else {
+        cfg.bus.bursts_for(p.len)
+    };
     if cfg.pacing {
         let pcr = p.pcr.unwrap_or_else(|| cfg.rate.cell_slots_per_second());
         // Fresh GCRA per VC, persistent across its packets.
@@ -516,6 +666,7 @@ fn attempt_push(
     pending_push: &mut VecDeque<usize>,
     engine_q: &mut VecDeque<ETask>,
     payload_per_cell: usize,
+    tracer: &mut dyn Tracer,
 ) {
     let ctx = &mut ctxs[ci];
     let Some(pkt) = ctx.cur.as_mut() else { return };
@@ -544,6 +695,15 @@ fn attempt_push(
     let is_last = cell_idx + 1 == pkt.cells_total;
     fifo.push_back((ci, is_last, pkt.idx));
     *fifo_peak = (*fifo_peak).max(fifo.len() as u64);
+    if tracer.enabled() {
+        tracer.record(
+            TraceEvent::instant(now, Stage::TxFifoEnqueue)
+                .vc(ctx.vc.cam_key())
+                .pkt(pkt.idx)
+                .cell(cell_idx as u64)
+                .arg(fifo.len() as u64),
+        );
+    }
     pkt.cells_pushed += 1;
     pkt.cell_state = CellState::Idle;
     if let Some(g) = ctx.gcra.as_mut() {
@@ -603,7 +763,11 @@ mod tests {
         let cfg = TxConfig::paper(LineRate::Oc12);
         let r = run_tx(&cfg, &greedy_workload(50, 65000, vc()));
         let ceiling = LineRate::Oc12.payload_bps();
-        assert!(r.goodput_bps > 0.9 * ceiling, "goodput {} vs {ceiling}", r.goodput_bps);
+        assert!(
+            r.goodput_bps > 0.9 * ceiling,
+            "goodput {} vs {ceiling}",
+            r.goodput_bps
+        );
         assert!(r.goodput_bps < ceiling);
         assert!(r.link_util > 0.95, "link util {}", r.link_util);
     }
@@ -653,8 +817,14 @@ mod tests {
 
     #[test]
     fn oc3_slower_than_oc12_when_link_bound() {
-        let r3 = run_tx(&TxConfig::paper(LineRate::Oc3), &greedy_workload(20, 65000, vc()));
-        let r12 = run_tx(&TxConfig::paper(LineRate::Oc12), &greedy_workload(20, 65000, vc()));
+        let r3 = run_tx(
+            &TxConfig::paper(LineRate::Oc3),
+            &greedy_workload(20, 65000, vc()),
+        );
+        let r12 = run_tx(
+            &TxConfig::paper(LineRate::Oc12),
+            &greedy_workload(20, 65000, vc()),
+        );
         assert!(r12.goodput_bps > 3.5 * r3.goodput_bps);
     }
 
@@ -696,8 +866,18 @@ mod tests {
     fn two_vcs_interleave() {
         let cfg = TxConfig::paper(LineRate::Oc12);
         let pkts = vec![
-            TxPacket { vc: VcId::new(0, 64), len: 9180, arrival: Time::ZERO, pcr: None },
-            TxPacket { vc: VcId::new(0, 65), len: 9180, arrival: Time::ZERO, pcr: None },
+            TxPacket {
+                vc: VcId::new(0, 64),
+                len: 9180,
+                arrival: Time::ZERO,
+                pcr: None,
+            },
+            TxPacket {
+                vc: VcId::new(0, 65),
+                len: 9180,
+                arrival: Time::ZERO,
+                pcr: None,
+            },
         ];
         let r = run_tx(&cfg, &pkts);
         assert_eq!(r.packets_sent, 2);
@@ -716,8 +896,18 @@ mod tests {
         let slow = VcId::new(0, 100);
         let fast = VcId::new(0, 101);
         let pkts = vec![
-            TxPacket { vc: slow, len: 4800, arrival: Time::ZERO, pcr: Some(1000.0) },
-            TxPacket { vc: fast, len: 48000, arrival: Time::ZERO, pcr: None },
+            TxPacket {
+                vc: slow,
+                len: 4800,
+                arrival: Time::ZERO,
+                pcr: Some(1000.0),
+            },
+            TxPacket {
+                vc: fast,
+                len: 48000,
+                arrival: Time::ZERO,
+                pcr: None,
+            },
         ];
         let r = run_tx(&cfg, &pkts);
         assert_eq!(r.packets_sent, 2);

@@ -125,7 +125,11 @@ mod tests {
 
     #[test]
     fn poisson_deterministic_per_seed() {
-        let src = PoissonSource { len: 1, rate_pps: 10.0, count: 100 };
+        let src = PoissonSource {
+            len: 1,
+            rate_pps: 10.0,
+            count: 100,
+        };
         let a = src.schedule(&mut Rng::new(5));
         let b = src.schedule(&mut Rng::new(5));
         assert_eq!(a, b);

@@ -17,6 +17,7 @@
 
 use crate::cpu::HostCpu;
 use hni_sim::{Duration, Summary, Time};
+use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer};
 
 /// Driver cost parameters, in host instructions (except the copy, which
 /// is bandwidth-bound).
@@ -94,7 +95,9 @@ pub struct RxHostModel {
 impl RxHostModel {
     /// Per-packet CPU time excluding the interrupt share.
     pub fn per_packet_time(&self, bytes: usize) -> Duration {
-        let mut t = self.cpu.instr_time(self.costs.descriptor_instr + self.costs.stack_instr);
+        let mut t = self
+            .cpu
+            .instr_time(self.costs.descriptor_instr + self.costs.stack_instr);
         if self.costs.copy_delivery {
             t += self.cpu.copy_time(bytes);
         } else {
@@ -108,9 +111,9 @@ impl RxHostModel {
     pub fn saturation_packets_per_second(&self, bytes: usize) -> f64 {
         let isr_share = match self.interrupts {
             InterruptMode::PerPacket => self.cpu.instr_time(self.costs.isr_instr),
-            InterruptMode::Coalesced { max_packets, .. } => {
-                Duration::from_ps(self.cpu.instr_time(self.costs.isr_instr).as_ps() / max_packets as u64)
-            }
+            InterruptMode::Coalesced { max_packets, .. } => Duration::from_ps(
+                self.cpu.instr_time(self.costs.isr_instr).as_ps() / max_packets as u64,
+            ),
         };
         1.0 / (self.per_packet_time(bytes) + isr_share).as_s_f64()
     }
@@ -118,6 +121,16 @@ impl RxHostModel {
     /// Replay `arrivals` (time-sorted `(time, bytes)` pairs): a serial
     /// CPU takes interrupts per the policy and processes packets FIFO.
     pub fn process(&self, arrivals: &[(Time, usize)]) -> HostRxReport {
+        self.process_instrumented(arrivals, &mut NullTracer)
+    }
+
+    /// [`RxHostModel::process`] with a tracer observing each interrupt
+    /// (arg = batch size) and each application hand-off (arg = bytes).
+    pub fn process_instrumented(
+        &self,
+        arrivals: &[(Time, usize)],
+        tracer: &mut dyn Tracer,
+    ) -> HostRxReport {
         let mut cpu_free = Time::ZERO;
         let mut cpu_busy = Duration::ZERO;
         let mut interrupts = 0u64;
@@ -168,6 +181,9 @@ impl RxHostModel {
             interrupts += 1;
             let start = t_int.max(cpu_free);
             let mut t = start;
+            if tracer.enabled() {
+                tracer.record(TraceEvent::instant(start, Stage::Isr).arg(pkt_idxs.len() as u64));
+            }
             let isr = self.cpu.instr_time(self.costs.isr_instr);
             t += isr;
             cpu_busy += isr;
@@ -179,6 +195,13 @@ impl RxHostModel {
                 latency.record_us(t.saturating_since(arr));
                 delivered += bytes as u64;
                 finished_at = t;
+                if tracer.enabled() {
+                    tracer.record(
+                        TraceEvent::instant(t, Stage::HostDeliver)
+                            .pkt(i)
+                            .arg(bytes as u64),
+                    );
+                }
             }
             cpu_free = t;
         }
@@ -216,7 +239,9 @@ mod tests {
     }
 
     fn arrivals(n: usize, gap: Duration, bytes: usize) -> Vec<(Time, usize)> {
-        (0..n).map(|i| (Time::ZERO + gap * i as u64, bytes)).collect()
+        (0..n)
+            .map(|i| (Time::ZERO + gap * i as u64, bytes))
+            .collect()
     }
 
     #[test]

@@ -66,7 +66,9 @@ impl SoftSar {
     /// (`cells` = cells it occupies).
     pub fn packet_time(&self, len: usize, cells: usize) -> Duration {
         let mut t = self.cpu.instr_time(self.costs.per_packet_instr);
-        t += self.cpu.instr_time(self.costs.per_cell_instr * cells as u64);
+        t += self
+            .cpu
+            .instr_time(self.costs.per_cell_instr * cells as u64);
         // PIO: every cell crosses the bus a word at a time.
         t += self.costs.pio_word_time * (self.costs.pio_words_per_cell * cells as u64);
         if self.costs.host_crc {

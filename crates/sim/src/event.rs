@@ -215,7 +215,10 @@ mod tests {
         q.schedule(Time::from_ns(100), "late");
         assert_eq!(q.pop_until(Time::from_ns(50)), None);
         assert_eq!(q.now(), Time::from_ns(50));
-        assert_eq!(q.pop_until(Time::from_ns(200)), Some((Time::from_ns(100), "late")));
+        assert_eq!(
+            q.pop_until(Time::from_ns(200)),
+            Some((Time::from_ns(100), "late"))
+        );
     }
 
     #[test]

@@ -231,7 +231,8 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        // clamp() propagates NaN; treat a NaN quantile as 0 explicitly.
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -496,6 +497,60 @@ mod tests {
     fn rate_meter_empty() {
         let m = RateMeter::new();
         assert_eq!(m.bits_per_second(Time::from_s(1)), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_zero_elapsed_window() {
+        // A record followed by a query at the same instant must not
+        // divide by zero (or return ±∞ / NaN).
+        let mut m = RateMeter::new();
+        m.record(Time::from_us(3), 1000);
+        assert_eq!(m.bits_per_second(Time::from_us(3)), 0.0);
+        assert_eq!(m.units_per_second(Time::from_us(3)), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_end_before_start() {
+        // Querying a window that closes before it opened saturates to a
+        // zero span and reports a zero rate, not a negative one.
+        let mut m = RateMeter::new();
+        m.record(Time::from_ms(10), 500);
+        assert_eq!(m.bits_per_second(Time::from_ms(1)), 0.0);
+        assert_eq!(m.units_per_second(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_empty_quantile_and_mean() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile_pathological_q() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200_000);
+        // Out-of-range and NaN quantiles clamp instead of panicking or
+        // propagating NaN through the rank arithmetic.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.5), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+    }
+
+    #[test]
+    fn occupancy_mean_at_time_zero() {
+        // span == 0: the mean degenerates to the current occupancy
+        // rather than dividing by zero.
+        let mut o = OccupancyTracker::new();
+        o.set(Time::ZERO, 5);
+        assert_eq!(o.mean(Time::ZERO), 5.0);
+        // And an untouched tracker reports zero everywhere.
+        let empty = OccupancyTracker::new();
+        assert_eq!(empty.mean(Time::from_s(1)), 0.0);
+        assert_eq!(empty.peak(), 0);
     }
 
     #[test]

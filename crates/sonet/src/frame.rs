@@ -88,8 +88,7 @@ impl FrameGeometry {
     /// Whether `col` carries ATM payload.
     #[inline]
     pub fn is_payload(&self, col: usize) -> bool {
-        col >= self.poh_col() + 1 + self.rate.fixed_stuff_columns()
-            && col < self.rate.columns()
+        col >= self.poh_col() + 1 + self.rate.fixed_stuff_columns() && col < self.rate.columns()
     }
 
     /// Whether octet (row, col) is in the section-overhead region
@@ -494,7 +493,10 @@ mod tests {
         let payload = vec![0u8; LineRate::Oc3.payload_octets_per_frame()];
         let frame = b.build(&payload, 0);
         let nonzero = frame[270..].iter().filter(|&&x| x != 0).count();
-        assert!(nonzero > 1500, "scrambling must whiten zeros, got {nonzero}");
+        assert!(
+            nonzero > 1500,
+            "scrambling must whiten zeros, got {nonzero}"
+        );
     }
 
     #[test]
@@ -547,7 +549,13 @@ mod tests {
     fn bad_size_detected() {
         let mut p = FrameParser::new(LineRate::Oc3);
         let err = p.parse(&[0u8; 100]).unwrap_err();
-        assert!(matches!(err, FrameError::BadSize { expected: 2430, got: 100 }));
+        assert!(matches!(
+            err,
+            FrameError::BadSize {
+                expected: 2430,
+                got: 100
+            }
+        ));
     }
 
     #[test]
@@ -566,7 +574,10 @@ mod tests {
         frame[idx] = 0xFF ^ keys[idx] ^ (C2_ATM ^ C2_ATM); // set to 0xFF pre-scramble
         frame[idx] = 0xFF ^ keys[idx];
         let mut p = FrameParser::new(rate);
-        assert!(matches!(p.parse(&frame), Err(FrameError::BadSignalLabel(0xFF))));
+        assert!(matches!(
+            p.parse(&frame),
+            Err(FrameError::BadSignalLabel(0xFF))
+        ));
     }
 
     #[test]

@@ -106,7 +106,11 @@ impl TcTransmitter {
         // Offset from the next frame's first payload octet to the next
         // cell boundary.
         let phase = (self.consumed % CELL_SIZE as u64) as u8;
-        let h4 = if phase == 0 { 0 } else { CELL_SIZE as u8 - phase };
+        let h4 = if phase == 0 {
+            0
+        } else {
+            CELL_SIZE as u8 - phase
+        };
         self.builder.build(&payload, h4)
     }
 }
@@ -232,7 +236,9 @@ mod tests {
 
     fn end_to_end(rate: LineRate) {
         let (mut tx, mut rx) = warmed_up(rate);
-        let sent: Vec<Cell> = (0..200).map(|i| data_cell(32 + (i % 100), i as u8)).collect();
+        let sent: Vec<Cell> = (0..200)
+            .map(|i| data_cell(32 + (i % 100), i as u8))
+            .collect();
         for c in &sent {
             tx.push_cell(c);
         }

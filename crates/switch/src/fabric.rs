@@ -2,6 +2,7 @@
 
 use hni_atm::{Cell, HeaderRepr, VcId};
 use hni_sim::{OccupancyTracker, Time};
+use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer};
 use std::collections::{HashMap, VecDeque};
 
 /// Switch parameters.
@@ -107,6 +108,18 @@ impl Switch {
     /// immediately (output-queued fabric). Returns `true` if the cell
     /// was queued, `false` if dropped (any cause).
     pub fn offer(&mut self, in_port: usize, cell: &Cell, now: Time) -> bool {
+        self.offer_traced(in_port, cell, now, &mut NullTracer)
+    }
+
+    /// [`Switch::offer`] with a tracer recording the enqueue (arg =
+    /// queue depth after, vc = translated label).
+    pub fn offer_traced(
+        &mut self,
+        in_port: usize,
+        cell: &Cell,
+        now: Time,
+        tracer: &mut dyn Tracer,
+    ) -> bool {
         assert!(in_port < self.cfg.ports);
         let Ok(header) = cell.header() else {
             self.unroutable += 1;
@@ -138,6 +151,13 @@ impl Switch {
             .expect("translated header must be encodable");
         q.push_back(out);
         self.occupancy[route.out_port].set(now, q.len() as u64);
+        if tracer.enabled() {
+            tracer.record(
+                TraceEvent::instant(now, Stage::SwitchEnqueue)
+                    .vc(route.out_vc.cam_key())
+                    .arg(self.queues[route.out_port].len() as u64),
+            );
+        }
         true
     }
 
@@ -147,14 +167,32 @@ impl Switch {
     /// user-data cell departs with its congestion-experienced bit set —
     /// the forward warning downstream rate control acts on.
     pub fn pull(&mut self, out_port: usize, now: Time) -> Option<Cell> {
+        self.pull_traced(out_port, now, &mut NullTracer)
+    }
+
+    /// [`Switch::pull`] with a tracer recording the dequeue (arg =
+    /// queue depth after).
+    pub fn pull_traced(
+        &mut self,
+        out_port: usize,
+        now: Time,
+        tracer: &mut dyn Tracer,
+    ) -> Option<Cell> {
         assert!(out_port < self.cfg.ports);
         let depth_before = self.queues[out_port].len();
         let mut cell = self.queues[out_port].pop_front()?;
         if depth_before >= self.cfg.efci_threshold {
             if let Ok(header) = cell.header() {
-                if let hni_atm::Pti::UserData { congestion: false, last } = header.pti {
+                if let hni_atm::Pti::UserData {
+                    congestion: false,
+                    last,
+                } = header.pti
+                {
                     let marked = HeaderRepr {
-                        pti: hni_atm::Pti::UserData { congestion: true, last },
+                        pti: hni_atm::Pti::UserData {
+                            congestion: true,
+                            last,
+                        },
                         ..header
                     };
                     cell.set_header(&marked).expect("marked header encodable");
@@ -164,6 +202,17 @@ impl Switch {
         }
         self.stats[out_port].carried += 1;
         self.occupancy[out_port].set(now, self.queues[out_port].len() as u64);
+        if tracer.enabled() {
+            let vc = cell
+                .header()
+                .map(|h| h.vc().cam_key())
+                .unwrap_or(hni_telemetry::NO_ID);
+            tracer.record(
+                TraceEvent::instant(now, Stage::SwitchDequeue)
+                    .vc(vc)
+                    .arg(self.queues[out_port].len() as u64),
+            );
+        }
         Some(cell)
     }
 
@@ -236,7 +285,10 @@ mod tests {
         sw.add_route(
             0,
             VcId::new(0, 100),
-            RouteEntry { out_port: 2, out_vc: VcId::new(7, 700) },
+            RouteEntry {
+                out_port: 2,
+                out_vc: VcId::new(7, 700),
+            },
         );
         sw
     }
@@ -256,8 +308,10 @@ mod tests {
     fn unroutable_cells_counted() {
         let mut sw = basic_switch();
         assert!(!sw.offer(0, &cell(VcId::new(0, 999), false), Time::ZERO));
-        assert!(!sw.offer(1, &cell(VcId::new(0, 100), false), Time::ZERO),
-            "route is per input port");
+        assert!(
+            !sw.offer(1, &cell(VcId::new(0, 100), false), Time::ZERO),
+            "route is per input port"
+        );
         assert_eq!(sw.unroutable(), 2);
     }
 
@@ -309,7 +363,10 @@ mod tests {
         sw.add_route(
             1,
             VcId::new(0, 200),
-            RouteEntry { out_port: 2, out_vc: VcId::new(7, 701) },
+            RouteEntry {
+                out_port: 2,
+                out_vc: VcId::new(7, 701),
+            },
         );
         sw.offer(0, &cell(VcId::new(0, 100), false), Time::ZERO);
         sw.offer(1, &cell(VcId::new(0, 200), false), Time::ZERO);
@@ -338,7 +395,14 @@ mod tests {
             clp_threshold: 2,
             efci_threshold: 2,
         });
-        sw.add_route(0, VcId::new(0, 32), RouteEntry { out_port: 1, out_vc: VcId::new(0, 32) });
+        sw.add_route(
+            0,
+            VcId::new(0, 32),
+            RouteEntry {
+                out_port: 1,
+                out_vc: VcId::new(0, 32),
+            },
+        );
         let c = cell(VcId::new(0, 32), false);
         for _ in 0..4 {
             sw.offer(0, &c, Time::ZERO);
@@ -366,7 +430,14 @@ mod efci_tests {
             efci_threshold: 4,
         });
         let vc = VcId::new(0, 32);
-        sw.add_route(0, vc, RouteEntry { out_port: 1, out_vc: vc });
+        sw.add_route(
+            0,
+            vc,
+            RouteEntry {
+                out_port: 1,
+                out_vc: vc,
+            },
+        );
         for _ in 0..8 {
             sw.offer(0, &data_cell(vc), Time::ZERO);
         }
@@ -374,7 +445,10 @@ mod efci_tests {
         // marked, the remaining 3 (depth 3,2,1) are clean.
         let mut marked = 0;
         while let Some(c) = sw.pull(1, Time::ZERO) {
-            if let Pti::UserData { congestion: true, .. } = c.header().unwrap().pti {
+            if let Pti::UserData {
+                congestion: true, ..
+            } = c.header().unwrap().pti
+            {
                 marked += 1;
             }
         }
@@ -391,7 +465,14 @@ mod efci_tests {
             efci_threshold: 8,
         });
         let vc = VcId::new(0, 33);
-        sw.add_route(0, vc, RouteEntry { out_port: 1, out_vc: vc });
+        sw.add_route(
+            0,
+            vc,
+            RouteEntry {
+                out_port: 1,
+                out_vc: vc,
+            },
+        );
         for _ in 0..8 {
             sw.offer(0, &data_cell(vc), Time::ZERO);
         }
@@ -400,7 +481,10 @@ mod efci_tests {
         // capacity 8, depth can reach exactly 8, so one mark occurs.
         let mut marked = 0;
         while let Some(c) = sw.pull(1, Time::ZERO) {
-            if let Pti::UserData { congestion: true, .. } = c.header().unwrap().pti {
+            if let Pti::UserData {
+                congestion: true, ..
+            } = c.header().unwrap().pti
+            {
                 marked += 1;
             }
         }
@@ -416,9 +500,19 @@ mod efci_tests {
             efci_threshold: 1,
         });
         let vc = VcId::new(0, 34);
-        sw.add_route(0, vc, RouteEntry { out_port: 1, out_vc: vc });
+        sw.add_route(
+            0,
+            vc,
+            RouteEntry {
+                out_port: 1,
+                out_vc: vc,
+            },
+        );
         let h = HeaderRepr {
-            pti: Pti::UserData { congestion: true, last: false },
+            pti: Pti::UserData {
+                congestion: true,
+                last: false,
+            },
             ..HeaderRepr::data(vc, false)
         };
         let pre_marked = Cell::new(&h, &[0u8; PAYLOAD_SIZE]).unwrap();
@@ -426,7 +520,10 @@ mod efci_tests {
         let out = sw.pull(1, Time::ZERO).unwrap();
         assert!(matches!(
             out.header().unwrap().pti,
-            Pti::UserData { congestion: true, .. }
+            Pti::UserData {
+                congestion: true,
+                ..
+            }
         ));
         assert_eq!(sw.efci_marked(), 0, "pre-marked cells are not re-counted");
     }

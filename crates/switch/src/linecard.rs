@@ -115,13 +115,21 @@ mod tests {
     fn cells_cross_the_node_with_translated_labels() {
         let rate = LineRate::Oc3;
         let mut node = SwitchNode::new(
-            SwitchConfig { ports: 2, output_queue_cells: 128, clp_threshold: 128, efci_threshold: 128 },
+            SwitchConfig {
+                ports: 2,
+                output_queue_cells: 128,
+                clp_threshold: 128,
+                efci_threshold: 128,
+            },
             rate,
         );
         node.fabric().add_route(
             0,
             VcId::new(0, 50),
-            RouteEntry { out_port: 1, out_vc: VcId::new(3, 350) },
+            RouteEntry {
+                out_port: 1,
+                out_vc: VcId::new(3, 350),
+            },
         );
 
         // A TC transmitter plays the role of the upstream host interface.
@@ -163,7 +171,10 @@ mod tests {
             let h = cell.header().unwrap();
             assert_eq!(h.vc(), VcId::new(3, 350), "label must be translated");
             assert_eq!(h.pti.is_last(), i % 2 == 0, "PTI preserved");
-            assert!(cell.payload().iter().all(|&b| b == i as u8), "payload intact");
+            assert!(
+                cell.payload().iter().all(|&b| b == i as u8),
+                "payload intact"
+            );
         }
     }
 
@@ -171,7 +182,12 @@ mod tests {
     fn unrouted_traffic_dies_in_the_node() {
         let rate = LineRate::Oc3;
         let mut node = SwitchNode::new(
-            SwitchConfig { ports: 2, output_queue_cells: 16, clp_threshold: 16, efci_threshold: 16 },
+            SwitchConfig {
+                ports: 2,
+                output_queue_cells: 16,
+                clp_threshold: 16,
+                efci_threshold: 16,
+            },
             rate,
         );
         let mut upstream = TcTransmitter::new(rate);

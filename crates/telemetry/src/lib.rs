@@ -1,0 +1,40 @@
+//! # hni-telemetry — the observability backbone
+//!
+//! The evaluation of the host-interface architecture is fundamentally an
+//! *attribution* exercise: which stage of the pipeline — DMA,
+//! segmentation, FIFO, link, reassembly, delivery — eats the cycles at
+//! 622 Mb/s. This crate makes that attribution first-class instead of
+//! ad-hoc per-run accounting:
+//!
+//! * [`TraceEvent`] — a fixed-size, `Copy` record of one cell- or
+//!   packet-lifecycle event: simulated [`Time`], pipeline [`Stage`],
+//!   span [`Phase`], VC, packet/cell sequence ids, and one
+//!   stage-specific argument.
+//! * [`Tracer`] — the sink trait the simulations emit into. The
+//!   [`NullTracer`] is a no-op whose `enabled()` gate lets every
+//!   instrumentation point vanish from the steady-state path: no
+//!   allocation, no buffering, bit-identical simulation results.
+//! * [`RingTracer`] / [`VecTracer`] — in-memory sinks: a bounded
+//!   preallocated ring for always-on flight recording, and a growing
+//!   buffer for full-run capture.
+//! * [`MetricsRegistry`] — named `Counter` / `Histogram` / `RateMeter` /
+//!   `OccupancyTracker` instances (reusing `hni-sim::stats`) under
+//!   hierarchical names (`nic.tx.seg.cells`) with a deterministic text
+//!   dump, derivable *from the trace stream itself*.
+//! * [`jsonl`] — a line-per-event JSON export, the interchange format
+//!   `report --trace <id>` emits.
+//! * [`waterfall`] — the reducer that rebuilds the R-F3 per-stage
+//!   latency breakdown directly from trace spans.
+
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod tracer;
+pub mod waterfall;
+
+pub use event::{Phase, Stage, TraceEvent, NO_ID};
+pub use metrics::{Metric, MetricsRegistry};
+pub use tracer::{NullTracer, RingTracer, Tracer, VecTracer};
+pub use waterfall::{StageLatency, Waterfall};
+
+pub use hni_sim::{Duration, Time};

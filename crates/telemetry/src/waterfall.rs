@@ -1,0 +1,230 @@
+//! The latency-waterfall reducer: rebuild the R-F3 per-stage breakdown
+//! of one packet's life directly from trace events, instead of
+//! hand-maintained accounting inside the simulations.
+//!
+//! The stage edges telescope — each stage starts where the previous one
+//! ended — so the stage durations sum *exactly* to the measured
+//! descriptor→completion latency. The mapping mirrors the analytic
+//! decomposition in `hni-analysis::latency`:
+//!
+//! ```text
+//! tx setup       descriptor fetch → setup span exit
+//! tx 1st burst   → first TX DMA burst done
+//! tx 1st cell    → first segmentation span exit
+//! serialize      → last cell handed to the framer
+//! propagate      → last cell arrival at the receiver
+//! rx cell        → last per-cell receive work exit
+//! validate       → validation span exit
+//! deliver dma    → last delivery DMA burst done
+//! complete       → completion span exit
+//! ```
+
+use crate::event::{Phase, Stage, TraceEvent};
+use hni_sim::{Duration, Time};
+use std::fmt::Write as _;
+
+/// One stage of a packet's latency waterfall.
+#[derive(Clone, Copy, Debug)]
+pub struct StageLatency {
+    /// Stage label (matches the R-F3 table columns).
+    pub label: &'static str,
+    /// Time spent in the stage.
+    pub duration: Duration,
+}
+
+/// A packet's per-stage latency breakdown, reduced from a trace.
+#[derive(Clone, Debug)]
+pub struct Waterfall {
+    /// Packet sequence id the waterfall describes.
+    pub pkt: u32,
+    /// Stage durations in path order (telescoping).
+    pub stages: Vec<StageLatency>,
+    /// Descriptor fetch → completion.
+    pub total: Duration,
+}
+
+impl Waterfall {
+    /// Reduce the waterfall of packet `pkt` from a trace stream.
+    ///
+    /// Returns `None` when the trace does not contain the packet's full
+    /// life (descriptor fetch through completion) — e.g. the packet was
+    /// lost, or tracing was off.
+    pub fn from_events(events: &[TraceEvent], pkt: u32) -> Option<Waterfall> {
+        let of_pkt = |ev: &&TraceEvent| ev.pkt == pkt;
+
+        let t_desc = events
+            .iter()
+            .filter(of_pkt)
+            .find(|e| e.stage == Stage::TxDescriptor)?
+            .time;
+        let t_setup = events
+            .iter()
+            .filter(of_pkt)
+            .find(|e| e.stage == Stage::TxSetup && e.phase == Phase::Exit)?
+            .time;
+        // Zero-length packets have no DMA: fall back to the previous edge.
+        let t_first_burst = events
+            .iter()
+            .filter(of_pkt)
+            .find(|e| e.stage == Stage::TxDmaBurst)
+            .map_or(t_setup, |e| e.time);
+        let t_first_cell = events
+            .iter()
+            .filter(of_pkt)
+            .find(|e| e.stage == Stage::TxSegment && e.phase == Phase::Exit)?
+            .time;
+        let t_last_wire = events
+            .iter()
+            .filter(of_pkt)
+            .rfind(|e| e.stage == Stage::TxFramer)?
+            .time;
+        let t_last_arrive = events
+            .iter()
+            .filter(of_pkt)
+            .rfind(|e| e.stage == Stage::RxCellArrive)?
+            .time;
+        let t_rx_cell = events
+            .iter()
+            .filter(of_pkt)
+            .rfind(|e| e.stage == Stage::RxCell && e.phase == Phase::Exit)?
+            .time;
+        let t_validate = events
+            .iter()
+            .filter(of_pkt)
+            .find(|e| e.stage == Stage::RxValidate && e.phase == Phase::Exit)?
+            .time;
+        let t_last_dma = events
+            .iter()
+            .filter(of_pkt)
+            .rfind(|e| e.stage == Stage::RxDmaBurst)
+            .map_or(t_validate, |e| e.time);
+        let t_complete = events
+            .iter()
+            .filter(of_pkt)
+            .find(|e| e.stage == Stage::RxComplete && e.phase == Phase::Exit)?
+            .time;
+
+        let stages = vec![
+            edge("tx setup", t_desc, t_setup),
+            edge("tx 1st burst", t_setup, t_first_burst),
+            edge("tx 1st cell", t_first_burst, t_first_cell),
+            edge("serialize", t_first_cell, t_last_wire),
+            edge("propagate", t_last_wire, t_last_arrive),
+            edge("rx cell", t_last_arrive, t_rx_cell),
+            edge("validate", t_rx_cell, t_validate),
+            edge("deliver dma", t_validate, t_last_dma),
+            edge("complete", t_last_dma, t_complete),
+        ];
+        Some(Waterfall {
+            pkt,
+            stages,
+            total: t_complete.saturating_since(t_desc),
+        })
+    }
+
+    /// Sum of stage durations (equals `total` by construction).
+    pub fn stage_sum(&self) -> Duration {
+        self.stages
+            .iter()
+            .fold(Duration::ZERO, |acc, s| acc + s.duration)
+    }
+
+    /// Duration of the stage labelled `label`, if present.
+    pub fn stage(&self, label: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|s| s.label == label)
+            .map(|s| s.duration)
+    }
+
+    /// Text rendering: one line per stage plus the total, in µs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "latency waterfall, packet {}", self.pkt);
+        for s in &self.stages {
+            let _ = writeln!(out, "  {:<12} {:>10.3} us", s.label, s.duration.as_us_f64());
+        }
+        let _ = writeln!(out, "  {:<12} {:>10.3} us", "TOTAL", self.total.as_us_f64());
+        out
+    }
+}
+
+fn edge(label: &'static str, from: Time, to: Time) -> StageLatency {
+    StageLatency {
+        label,
+        duration: to.saturating_since(from),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_trace() -> Vec<TraceEvent> {
+        // A hand-built single-packet life with known edges (ns).
+        let e = |ns: u64, st, ph| TraceEvent {
+            time: Time::from_ns(ns),
+            stage: st,
+            phase: ph,
+            vc: 64,
+            pkt: 0,
+            cell: crate::NO_ID,
+            arg: 0,
+        };
+        vec![
+            e(0, Stage::TxDescriptor, Phase::Instant),
+            e(0, Stage::TxSetup, Phase::Enter),
+            e(100, Stage::TxSetup, Phase::Exit),
+            e(250, Stage::TxDmaBurst, Phase::Instant),
+            e(200, Stage::TxSegment, Phase::Enter),
+            e(400, Stage::TxSegment, Phase::Exit),
+            e(1_100, Stage::TxFramer, Phase::Instant),
+            e(1_800, Stage::TxFramer, Phase::Instant),
+            e(6_800, Stage::RxCellArrive, Phase::Instant),
+            e(6_900, Stage::RxCell, Phase::Exit),
+            e(7_000, Stage::RxValidate, Phase::Exit),
+            e(7_500, Stage::RxDmaBurst, Phase::Instant),
+            e(7_600, Stage::RxComplete, Phase::Exit),
+        ]
+    }
+
+    #[test]
+    fn stages_telescope_to_total() {
+        let w = Waterfall::from_events(&synthetic_trace(), 0).expect("complete life");
+        assert_eq!(w.total, Duration::from_ns(7_600));
+        assert_eq!(w.stage_sum(), w.total);
+        assert_eq!(w.stage("tx setup"), Some(Duration::from_ns(100)));
+        assert_eq!(w.stage("tx 1st burst"), Some(Duration::from_ns(150)));
+        assert_eq!(w.stage("tx 1st cell"), Some(Duration::from_ns(150)));
+        assert_eq!(w.stage("serialize"), Some(Duration::from_ns(1_400)));
+        assert_eq!(w.stage("propagate"), Some(Duration::from_ns(5_000)));
+        assert_eq!(w.stage("complete"), Some(Duration::from_ns(100)));
+    }
+
+    #[test]
+    fn missing_life_returns_none() {
+        assert!(Waterfall::from_events(&[], 0).is_none());
+        // Wrong packet id.
+        assert!(Waterfall::from_events(&synthetic_trace(), 1).is_none());
+    }
+
+    #[test]
+    fn render_lists_all_stages() {
+        let w = Waterfall::from_events(&synthetic_trace(), 0).unwrap();
+        let r = w.render();
+        for label in [
+            "tx setup",
+            "tx 1st burst",
+            "tx 1st cell",
+            "serialize",
+            "propagate",
+            "rx cell",
+            "validate",
+            "deliver dma",
+            "complete",
+            "TOTAL",
+        ] {
+            assert!(r.contains(label), "missing {label} in:\n{r}");
+        }
+    }
+}

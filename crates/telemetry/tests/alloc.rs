@@ -1,0 +1,72 @@
+//! Allocation-count proofs for the tracing hot path.
+//!
+//! A counting global allocator wraps `System`; the tests assert that
+//! recording through a `NullTracer` — and into a warmed `RingTracer` —
+//! performs zero heap allocations, which is what makes it safe to leave
+//! instrumentation in the per-cell steady-state path.
+
+use hni_telemetry::{NullTracer, RingTracer, Stage, Time, TraceEvent, Tracer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn ev(i: u64) -> TraceEvent {
+    TraceEvent::instant(Time::from_ns(i), Stage::TxFramer)
+        .vc(64)
+        .cell(i)
+}
+
+#[test]
+fn null_tracer_records_without_allocating() {
+    let mut t = NullTracer;
+    let n = allocs_during(|| {
+        for i in 0..10_000 {
+            if t.enabled() {
+                t.record(ev(i));
+            }
+        }
+    });
+    assert_eq!(n, 0, "NullTracer hot path allocated {n} times");
+}
+
+#[test]
+fn warmed_ring_tracer_records_without_allocating() {
+    let mut t = RingTracer::new(1024);
+    let n = allocs_during(|| {
+        for i in 0..100_000 {
+            if t.enabled() {
+                t.record(ev(i));
+            }
+        }
+    });
+    assert_eq!(n, 0, "warmed RingTracer allocated {n} times");
+    assert_eq!(t.recorded(), 100_000);
+}

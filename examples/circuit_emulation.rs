@@ -29,8 +29,22 @@ fn main() {
         clp_threshold: 10,
         efci_threshold: 8,
     });
-    sw.add_route(0, video_vc, RouteEntry { out_port: 1, out_vc: video_vc });
-    sw.add_route(0, bulk_vc, RouteEntry { out_port: 1, out_vc: bulk_vc });
+    sw.add_route(
+        0,
+        video_vc,
+        RouteEntry {
+            out_port: 1,
+            out_vc: video_vc,
+        },
+    );
+    sw.add_route(
+        0,
+        bulk_vc,
+        RouteEntry {
+            out_port: 1,
+            out_vc: bulk_vc,
+        },
+    );
 
     // The feed: a deterministic "signal" we can compare octet-exactly.
     let signal: Vec<u8> = (0..PAYLOAD_PER_CELL * 4000)
@@ -64,23 +78,24 @@ fn main() {
                 *vi += 1;
             }
         };
-        let offer_bulk = |sw: &mut Switch, rng: &mut Rng, bulk_on: &mut bool, bulk_offered: &mut u64| {
-            // Bulk: on/off bursts at mean length 30, duty ~2/3 of slots.
-            if *bulk_on {
-                let header = HeaderRepr {
-                    clp: rng.chance(0.5),
-                    ..HeaderRepr::data(bulk_vc, false)
-                };
-                let cell = Cell::new(&header, &bulk_payload).unwrap();
-                *bulk_offered += 1;
-                sw.offer(0, &cell, now);
-                if rng.chance(1.0 / 30.0) {
-                    *bulk_on = false;
+        let offer_bulk =
+            |sw: &mut Switch, rng: &mut Rng, bulk_on: &mut bool, bulk_offered: &mut u64| {
+                // Bulk: on/off bursts at mean length 30, duty ~2/3 of slots.
+                if *bulk_on {
+                    let header = HeaderRepr {
+                        clp: rng.chance(0.5),
+                        ..HeaderRepr::data(bulk_vc, false)
+                    };
+                    let cell = Cell::new(&header, &bulk_payload).unwrap();
+                    *bulk_offered += 1;
+                    sw.offer(0, &cell, now);
+                    if rng.chance(1.0 / 30.0) {
+                        *bulk_on = false;
+                    }
+                } else if rng.chance(1.0 / 15.0) {
+                    *bulk_on = true;
                 }
-            } else if rng.chance(1.0 / 15.0) {
-                *bulk_on = true;
-            }
-        };
+            };
         if video_first {
             offer_video(&mut sw, &mut vi);
             offer_bulk(&mut sw, &mut rng, &mut bulk_on, &mut bulk_offered);
@@ -133,13 +148,13 @@ fn main() {
         "  stream length {} octets (sent {}) — timing skeleton {}",
         stream.len(),
         signal.len(),
-        if stream.len() == signal.len() { "PRESERVED" } else { "BROKEN" },
+        if stream.len() == signal.len() {
+            "PRESERVED"
+        } else {
+            "BROKEN"
+        },
     );
-    let intact = stream
-        .iter()
-        .zip(&signal)
-        .filter(|(a, b)| a == b)
-        .count();
+    let intact = stream.iter().zip(&signal).filter(|(a, b)| a == b).count();
     println!(
         "  {:.2}% of octets delivered exactly; the rest concealed with fill",
         intact as f64 / signal.len() as f64 * 100.0
@@ -149,6 +164,7 @@ fn main() {
         "\nReading: CLP priority makes the bulk traffic absorb {} drops so the\n\
          video loses only {} cells; AAL1's sequence count converts those losses\n\
          into bounded, positioned concealment instead of stream corruption.",
-        stats.dropped_clp, rx.cells_lost(),
+        stats.dropped_clp,
+        rx.cells_lost(),
     );
 }

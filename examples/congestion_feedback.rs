@@ -40,8 +40,22 @@ fn run(adaptive: bool) -> RoundResult {
     });
     let src_vc = VcId::new(0, 500);
     let bg_vc = VcId::new(0, 501);
-    sw.add_route(0, src_vc, RouteEntry { out_port: 1, out_vc: src_vc });
-    sw.add_route(0, bg_vc, RouteEntry { out_port: 1, out_vc: bg_vc });
+    sw.add_route(
+        0,
+        src_vc,
+        RouteEntry {
+            out_port: 1,
+            out_vc: src_vc,
+        },
+    );
+    sw.add_route(
+        0,
+        bg_vc,
+        RouteEntry {
+            out_port: 1,
+            out_vc: bg_vc,
+        },
+    );
 
     let payload = [0u8; PAYLOAD_SIZE];
     let mut rate: f64 = if adaptive { 0.10 } else { 0.90 };
@@ -59,21 +73,35 @@ fn run(adaptive: bool) -> RoundResult {
         bg_credit += BACKGROUND_LOAD;
         if bg_credit >= 1.0 {
             bg_credit -= 1.0;
-            sw.offer(0, &Cell::new(&HeaderRepr::data(bg_vc, false), &payload).unwrap(), Time::ZERO);
+            sw.offer(
+                0,
+                &Cell::new(&HeaderRepr::data(bg_vc, false), &payload).unwrap(),
+                Time::ZERO,
+            );
         }
         // Adaptive source.
         credit += rate;
         if credit >= 1.0 {
             credit -= 1.0;
             offered_src += 1;
-            sw.offer(0, &Cell::new(&HeaderRepr::data(src_vc, false), &payload).unwrap(), Time::ZERO);
+            sw.offer(
+                0,
+                &Cell::new(&HeaderRepr::data(src_vc, false), &payload).unwrap(),
+                Time::ZERO,
+            );
         }
         // Drain one slot; the "receiver" observes EFCI on the source's VC.
         if let Some(cell) = sw.pull(1, Time::ZERO) {
             let h = cell.header().unwrap();
             if h.vc() == src_vc {
                 seen_in_round += 1;
-                if matches!(h.pti, Pti::UserData { congestion: true, .. }) {
+                if matches!(
+                    h.pti,
+                    Pti::UserData {
+                        congestion: true,
+                        ..
+                    }
+                ) {
                     marked_in_round += 1;
                 }
             }

@@ -33,7 +33,12 @@ fn cell_loss_run() {
         b.receive_line_octets(&f, Time::ZERO);
     }
 
-    let mut link = Link::new(1e9, hni_sim::Duration::ZERO, FaultSpec::loss(0.005), Rng::new(7));
+    let mut link = Link::new(
+        1e9,
+        hni_sim::Duration::ZERO,
+        FaultSpec::loss(0.005),
+        Rng::new(7),
+    );
     let n_frames = 200;
     let len = 4096;
     let mut t = Time::ZERO;
@@ -65,7 +70,10 @@ fn cell_loss_run() {
     for e in &errors {
         *counts.entry(format!("{e}")).or_insert(0u32) += 1;
     }
-    println!("  reassembly failures    : {errors_len}", errors_len = errors.len());
+    println!(
+        "  reassembly failures    : {errors_len}",
+        errors_len = errors.len()
+    );
     for (e, n) in counts {
         println!("    {n:>4} × {e}");
     }
@@ -133,10 +141,7 @@ fn bit_error_run() {
         rx.delineator().hec_receiver().corrected(),
         rx.delineator().hec_receiver().discarded()
     );
-    println!(
-        "  delineation losses      : {}",
-        rx.delineator().losses()
-    );
+    println!("  delineation losses      : {}", rx.delineator().losses());
     println!("  frames intact           : {ok}/{n_frames} ({failures} reassembly failures)");
     println!(
         "\nReading: parity counts the damage, the HEC machine repairs single-bit\n\

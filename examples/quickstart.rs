@@ -42,7 +42,9 @@ fn main() {
         (0..9180).map(|i| (i % 251) as u8).collect(),
     ];
     for p in &payloads {
-        alice.send(vc, p.clone(), Time::ZERO).expect("vc open, size ok");
+        alice
+            .send(vc, p.clone(), Time::ZERO)
+            .expect("vc open, size ok");
     }
     println!(
         "alice queued {} SDUs as {} cells",

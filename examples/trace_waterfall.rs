@@ -1,0 +1,50 @@
+//! Trace a packet's life end to end and render the latency waterfall.
+//!
+//! ```text
+//! cargo run -p hni-bench --example trace_waterfall [pkt_octets]
+//! ```
+//!
+//! Runs the unloaded end-to-end composition (transmit pipeline →
+//! 5 µs of fibre → receive pipeline) with a recording tracer, then
+//! reduces the event stream three ways:
+//!
+//! 1. the per-stage latency waterfall (the R-F3 breakdown, but measured
+//!    from trace spans instead of computed in closed form),
+//! 2. the metrics registry derived from the same stream,
+//! 3. the first few events as JSONL, the interchange format
+//!    `report --trace <id>` emits.
+
+use hni_bench::experiments::rf3_latency;
+use hni_telemetry::{jsonl, MetricsRegistry, Time, Waterfall};
+
+fn main() {
+    let len: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("pkt_octets must be an integer"))
+        .unwrap_or(rf3_latency::TRACE_LEN);
+
+    let events = rf3_latency::trace_run(len);
+    println!(
+        "traced one {len}-octet packet end to end: {} events\n",
+        events.len()
+    );
+
+    let w = Waterfall::from_events(&events, 0).expect("packet 0 fully traced");
+    println!("{}", w.render());
+    println!(
+        "stage sum {:.2} µs = total {:.2} µs (telescoping edges)\n",
+        w.stage_sum().as_us_f64(),
+        w.total.as_us_f64()
+    );
+
+    let end = events.last().map(|e| e.time).unwrap_or(Time::ZERO);
+    println!("metrics derived from the same trace stream:");
+    print!("{}", MetricsRegistry::from_trace(&events, end).dump(end));
+
+    println!("\nfirst 5 events as JSONL (`report --trace r-f3` emits the full stream):");
+    for ev in events.iter().take(5) {
+        let mut line = String::new();
+        jsonl::write_event(&mut line, ev);
+        println!("{line}");
+    }
+}

@@ -94,7 +94,8 @@ fn many_vcs_interleave_on_one_line() {
         b.open_vc(vc).unwrap();
     }
     for (i, &vc) in vcs.iter().enumerate() {
-        a.send(vc, vec![i as u8; 1000 + i * 100], Time::ZERO).unwrap();
+        a.send(vc, vec![i as u8; 1000 + i * 100], Time::ZERO)
+            .unwrap();
     }
     let evs = pump_until(&mut a, &mut b, vcs.len(), 200);
     let mut seen = 0;
@@ -117,7 +118,8 @@ fn aal34_mid_multiplexing_end_to_end() {
     b.open_vc(vc).unwrap();
     // Ten "sources" share one VC via MIDs.
     for mid in 0..10u16 {
-        a.send_with_mid(vc, mid, vec![mid as u8; 2000], Time::ZERO).unwrap();
+        a.send_with_mid(vc, mid, vec![mid as u8; 2000], Time::ZERO)
+            .unwrap();
     }
     let evs = pump_until(&mut a, &mut b, 10, 200);
     let mut mids = Vec::new();
@@ -258,8 +260,14 @@ fn through_a_switch_hop_with_label_translation() {
     let vc_out = VcId::new(5, 500);
     a.open_vc(vc_in).unwrap();
     b.open_vc(vc_out).unwrap();
-    node.fabric()
-        .add_route(0, vc_in, RouteEntry { out_port: 1, out_vc: vc_out });
+    node.fabric().add_route(
+        0,
+        vc_in,
+        RouteEntry {
+            out_port: 1,
+            out_vc: vc_out,
+        },
+    );
 
     // Warm up both hops.
     for _ in 0..14 {

@@ -88,7 +88,10 @@ fn no_corrupt_delivery(aal: AalType, ber: f64) {
             }
         }
     }
-    assert!(delivered > 50, "most frames should survive 1e-5 ({delivered})");
+    assert!(
+        delivered > 50,
+        "most frames should survive 1e-5 ({delivered})"
+    );
     assert!(
         delivered + failures >= 90,
         "delivered {delivered} + failed {failures} should account for most frames"
@@ -130,7 +133,10 @@ fn delineation_recovers_after_line_hit() {
         let f = a.frame_tick();
         b.receive_line_octets(&f, Time::ZERO);
     }
-    assert!(b.tc_receiver().aligner().is_synced(), "frame alignment back");
+    assert!(
+        b.tc_receiver().aligner().is_synced(),
+        "frame alignment back"
+    );
     assert!(b.tc_receiver().delineator().is_synced(), "delineation back");
 
     a.send(vc, b"after".to_vec(), Time::ZERO).unwrap();

@@ -14,10 +14,7 @@ fn all_experiments_render_with_headers_and_tables() {
             out.starts_with(&id.to_uppercase()),
             "{id}: report must start with its id header"
         );
-        assert!(
-            out.contains("---"),
-            "{id}: table separator missing"
-        );
+        assert!(out.contains("---"), "{id}: table separator missing");
         assert!(out.lines().count() >= 7, "{id}: suspiciously short");
     }
 }
@@ -44,7 +41,10 @@ fn rf1_has_every_size_and_partition() {
     for size in ["64", "9180", "65000"] {
         assert!(out.contains(size), "missing size {size}");
     }
-    assert!(out.contains("link") && out.contains("engine"), "bottleneck column");
+    assert!(
+        out.contains("link") && out.contains("engine"),
+        "bottleneck column"
+    );
 }
 
 #[test]
