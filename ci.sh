@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Local CI gate: formatting, lints-as-errors, full test suite.
+# Local CI gate: formatting, lints-as-errors, docs-as-errors, full test
+# suite, example smoke-runs, and a fresh report_output.txt.
 # Run from the repository root before pushing.
 set -eu
 
@@ -9,7 +10,17 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> smoke: examples trace_waterfall / profile_bottleneck"
+cargo run -q -p hni-bench --example trace_waterfall --release > /dev/null
+cargo run -q -p hni-bench --example profile_bottleneck --release > /dev/null
+
+echo "==> regenerate report_output.txt (report all)"
+cargo run -q -p hni-bench --bin report --release -- all > report_output.txt
 
 echo "CI OK"

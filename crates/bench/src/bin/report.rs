@@ -3,20 +3,39 @@
 //! ```text
 //! cargo run -p hni-bench --bin report --release             # everything
 //! cargo run -p hni-bench --bin report --release -- r-f1     # one experiment
-//! cargo run -p hni-bench --bin report --release -- list     # list ids
-//! cargo run -p hni-bench --bin report --release -- --trace r-f3   # JSONL trace
-//! cargo run -p hni-bench --bin report --release -- metrics r-f3   # metrics dump
+//! cargo run -p hni-bench --bin report --release -- list     # ids + capabilities
+//! cargo run -p hni-bench --bin report --release -- --trace r-f3      # JSONL trace
+//! cargo run -p hni-bench --bin report --release -- metrics r-f3      # metrics dump
+//! cargo run -p hni-bench --bin report --release -- profile r-f1     # folded stacks
+//! cargo run -p hni-bench --bin report --release -- bottleneck r-f1  # attribution
+//! cargo run -p hni-bench --bin report --release -- prom r-f1        # Prometheus text
 //! ```
+//!
+//! Ids are case-insensitive and the hyphen is optional (`rf1` ≡ `r-f1`).
 
 use hni_bench::{
-    metrics_experiment, run_experiment, trace_experiment, EXPERIMENT_IDS, TRACEABLE_IDS,
+    bottleneck_report, folded_report, metrics_experiment, normalize_id, prom_report,
+    run_experiment, trace_experiment, EXPERIMENT_IDS, PROFILE_IDS, TRACEABLE_IDS,
 };
 
-fn traceable_id_or_exit(args: &[String], what: &str) -> String {
+/// Resolve `args[1]` as the id a capability subcommand operates on, or
+/// exit 2 with a usage line naming the ids that support it.
+fn capability_id_or_exit(args: &[String], what: &str, supported: &[&str]) -> String {
     match args.get(1) {
-        Some(id) => id.to_lowercase(),
+        Some(id) => normalize_id(id),
         None => {
-            eprintln!("usage: report {what} <id>; traceable ids: {TRACEABLE_IDS:?}");
+            eprintln!("usage: report {what} <id>; supported ids: {supported:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print a capability rendering, or exit 2 with the supported set.
+fn print_or_exit(out: Option<String>, id: &str, what: &str, supported: &[&str]) {
+    match out {
+        Some(text) => print!("{text}"),
+        None => {
+            eprintln!("experiment '{id}' does not support '{what}'; supported ids: {supported:?}");
             std::process::exit(2);
         }
     }
@@ -33,39 +52,46 @@ fn main() {
         }
         Some("list") => {
             for id in EXPERIMENT_IDS {
-                let t = if TRACEABLE_IDS.contains(&id) {
-                    "  [traceable]"
+                let mut caps = Vec::new();
+                if TRACEABLE_IDS.contains(&id) {
+                    caps.extend(["trace", "metrics"]);
+                }
+                if PROFILE_IDS.contains(&id) {
+                    caps.extend(["profile", "bottleneck", "prom"]);
+                }
+                if caps.is_empty() {
+                    println!("{id}");
                 } else {
-                    ""
-                };
-                println!("{id}{t}");
+                    println!("{id}  [{}]", caps.join(" "));
+                }
             }
         }
         Some("--trace" | "trace") => {
-            let id = traceable_id_or_exit(&args, "--trace");
-            match trace_experiment(&id) {
-                Some(events) => print!("{}", hni_telemetry::jsonl::to_jsonl(&events)),
-                None => {
-                    eprintln!(
-                        "experiment '{id}' has no trace support; traceable: {TRACEABLE_IDS:?}"
-                    );
-                    std::process::exit(2);
-                }
-            }
+            let id = capability_id_or_exit(&args, "trace", &TRACEABLE_IDS);
+            print_or_exit(
+                trace_experiment(&id).map(|ev| hni_telemetry::jsonl::to_jsonl(&ev)),
+                &id,
+                "trace",
+                &TRACEABLE_IDS,
+            );
         }
         Some("metrics") => {
-            let id = traceable_id_or_exit(&args, "metrics");
-            match metrics_experiment(&id) {
-                Some(dump) => print!("{dump}"),
-                None => {
-                    eprintln!(
-                        "experiment '{id}' has no trace support; traceable: {TRACEABLE_IDS:?}"
-                    );
-                    std::process::exit(2);
-                }
-            }
+            let id = capability_id_or_exit(&args, "metrics", &TRACEABLE_IDS);
+            print_or_exit(metrics_experiment(&id), &id, "metrics", &TRACEABLE_IDS);
         }
-        Some(id) => match run_experiment(&id.to_lowercase()) {
+        Some("profile") => {
+            let id = capability_id_or_exit(&args, "profile", &PROFILE_IDS);
+            print_or_exit(folded_report(&id), &id, "profile", &PROFILE_IDS);
+        }
+        Some("bottleneck") => {
+            let id = capability_id_or_exit(&args, "bottleneck", &PROFILE_IDS);
+            print_or_exit(bottleneck_report(&id), &id, "bottleneck", &PROFILE_IDS);
+        }
+        Some("prom") => {
+            let id = capability_id_or_exit(&args, "prom", &PROFILE_IDS);
+            print_or_exit(prom_report(&id), &id, "prom", &PROFILE_IDS);
+        }
+        Some(id) => match run_experiment(&normalize_id(id)) {
             Some(out) => println!("{out}"),
             None => {
                 eprintln!("unknown experiment '{id}'; try: list");

@@ -5,9 +5,9 @@ use crate::table::{fmt_bps, Table};
 use hni_analysis::throughput::{predict_tx, predict_tx_with_bubble};
 use hni_atm::VcId;
 use hni_core::engine::HwPartition;
-use hni_core::txsim::{greedy_workload, run_tx, run_tx_instrumented, TxConfig};
+use hni_core::txsim::{greedy_workload, run_tx, run_tx_instrumented, run_tx_profiled, TxConfig};
 use hni_sonet::LineRate;
-use hni_telemetry::{TraceEvent, VecTracer};
+use hni_telemetry::{CycleProfiler, Profile, TraceEvent, VecTracer};
 
 /// Packet sizes swept (octets).
 pub const SIZES: [usize; 7] = [64, 256, 1024, 4096, 9180, 32768, 65000];
@@ -73,6 +73,20 @@ pub fn trace_run() -> Vec<TraceEvent> {
         &mut tracer,
     );
     tracer.into_events()
+}
+
+/// Cycle-profile the same canonical steady-state point the trace
+/// capture uses. Returns the profile and the run's goodput (the
+/// attribution engine's ceiling denominator).
+pub fn profile_run() -> (Profile, f64) {
+    let cfg = TxConfig::paper(LineRate::Oc12);
+    let mut prof = CycleProfiler::new();
+    let (r, _) = run_tx_profiled(
+        &cfg,
+        &greedy_workload(20, 9180, VcId::new(0, 32)),
+        &mut prof,
+    );
+    (prof.snapshot(r.finished_at), r.goodput_bps)
 }
 
 /// Render the figure as a table.

@@ -6,13 +6,13 @@ use hni_aal::AalType;
 use hni_analysis::latency::unloaded_latency;
 use hni_atm::VcId;
 use hni_core::bus::BusConfig;
-use hni_core::e2esim::{run_e2e, run_e2e_instrumented};
+use hni_core::e2esim::{run_e2e, run_e2e_instrumented, run_e2e_profiled};
 use hni_core::engine::HwPartition;
 use hni_core::rxsim::RxConfig;
 use hni_core::txsim::{greedy_workload, run_tx, TxConfig};
 use hni_sim::Duration;
 use hni_sonet::LineRate;
-use hni_telemetry::{TraceEvent, VecTracer};
+use hni_telemetry::{CycleProfiler, Profile, TraceEvent, VecTracer};
 
 /// Packet sizes swept.
 pub const SIZES: [usize; 5] = [64, 1024, 9180, 32768, 65000];
@@ -34,6 +34,22 @@ pub fn trace_run(len: usize) -> Vec<TraceEvent> {
         &mut tracer,
     );
     tracer.into_events()
+}
+
+/// Cycle-profile a loaded end-to-end run (20 × 9180-octet packets):
+/// unlike the single-packet trace, a steady-state backlog gives every
+/// path resource a meaningful utilization to rank. Returns the profile
+/// and the run's goodput.
+pub fn profile_run() -> (Profile, f64) {
+    let mut prof = CycleProfiler::new();
+    let r = run_e2e_profiled(
+        &TxConfig::paper(LineRate::Oc12),
+        &RxConfig::paper(LineRate::Oc12),
+        &greedy_workload(20, TRACE_LEN, VcId::new(0, 32)),
+        PROPAGATION,
+        &mut prof,
+    );
+    (prof.snapshot(r.rx.run_end), r.goodput_bps)
 }
 
 /// Render the breakdown table.

@@ -16,14 +16,84 @@ pub mod table;
 pub use table::Table;
 
 /// All experiment ids, in report order.
-pub const EXPERIMENT_IDS: [&str; 15] = [
+pub const EXPERIMENT_IDS: [&str; 16] = [
     "r-t1", "r-t2", "r-t3", "r-t4", "r-t5", "r-f1", "r-f2", "r-f3", "r-f4", "r-f5", "r-f6", "r-f7",
-    "r-f8", "r-a1", "r-a2",
+    "r-f8", "r-a1", "r-a2", "r-o1",
 ];
 
 /// Experiment ids whose underlying runs can be captured as a trace
 /// (`report --trace <id>` / `report metrics <id>`).
 pub const TRACEABLE_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
+
+/// Experiment ids whose canonical runs can be cycle-profiled
+/// (`report profile <id>` / `report bottleneck <id>` / `report prom <id>`).
+pub const PROFILE_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
+
+/// Canonicalise a user-typed experiment id: lowercase, and accept the
+/// hyphenless shorthand ("RF1", "ro1") for the `r-xN` family.
+pub fn normalize_id(id: &str) -> String {
+    let id = id.to_lowercase();
+    if !id.contains('-') {
+        if let Some(rest) = id.strip_prefix('r') {
+            if !rest.is_empty() {
+                return format!("r-{rest}");
+            }
+        }
+    }
+    id
+}
+
+/// Cycle-profile one experiment's canonical run. Returns the profile
+/// and the run's goodput (bits/s), or `None` for unsupported ids.
+pub fn profile_experiment(id: &str) -> Option<(hni_telemetry::Profile, f64)> {
+    match id {
+        "r-f1" => Some(experiments::rf1_tx_throughput::profile_run()),
+        "r-f2" => Some(experiments::rf2_rx_throughput::profile_run()),
+        "r-f3" => Some(experiments::rf3_latency::profile_run()),
+        _ => None,
+    }
+}
+
+/// Folded-stack rendering of an experiment's profile (one
+/// `component;activity <ns>` line per charged pair — flamegraph food).
+pub fn folded_report(id: &str) -> Option<String> {
+    let (profile, _) = profile_experiment(id)?;
+    Some(profile.folded_stacks())
+}
+
+/// Bottleneck-attribution rendering of an experiment's profile: the
+/// utilization-ranked resource table plus implied throughput ceilings.
+/// For R-F1 the attribution is additionally swept across every packet
+/// size of the throughput figure, naming the saturating resource at
+/// each point.
+pub fn bottleneck_report(id: &str) -> Option<String> {
+    use experiments::ro1_bottleneck;
+    let (profile, goodput) = profile_experiment(id)?;
+    let a = hni_telemetry::attribute(&profile, goodput);
+    let mut out = a.render();
+    if id == "r-f1" {
+        let mut t = Table::new(["pkt octets", "bottleneck", "utilization", "implied ceiling"]);
+        for p in ro1_bottleneck::sweep_tx(20) {
+            t.row([
+                p.len.to_string(),
+                p.measured.to_string(),
+                table::fmt_pct(p.utilization),
+                table::fmt_bps(p.ceiling_bps),
+            ]);
+        }
+        out = format!(
+            "{out}\nSaturating resource at each swept packet size:\n{}",
+            t.render()
+        );
+    }
+    Some(out)
+}
+
+/// Prometheus text-exposition rendering of an experiment's profile.
+pub fn prom_report(id: &str) -> Option<String> {
+    let (profile, _) = profile_experiment(id)?;
+    Some(hni_telemetry::expfmt::expose(&profile))
+}
 
 /// Capture the structured event trace of one experiment's canonical
 /// run. Returns `None` for ids without trace support.
@@ -66,6 +136,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "r-f8" => Some(experiments::rf8_congestion::run()),
         "r-a1" => Some(experiments::ra1_fifo_depth::run()),
         "r-a2" => Some(experiments::ra2_mips::run()),
+        "r-o1" => Some(experiments::ro1_bottleneck::run()),
         _ => None,
     }
 }
@@ -86,6 +157,50 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(run_experiment("r-f99").is_none());
+    }
+
+    #[test]
+    fn ids_normalize_with_or_without_hyphen() {
+        assert_eq!(normalize_id("r-f1"), "r-f1");
+        assert_eq!(normalize_id("RF1"), "r-f1");
+        assert_eq!(normalize_id("ro1"), "r-o1");
+        assert_eq!(normalize_id("list"), "list"); // non-id words untouched
+        assert_eq!(normalize_id("r"), "r");
+    }
+
+    #[test]
+    fn profile_ids_yield_profiles_and_renderings() {
+        for id in PROFILE_IDS {
+            let (profile, goodput) =
+                profile_experiment(id).unwrap_or_else(|| panic!("{id} unprofied"));
+            assert!(profile.span() > hni_telemetry::Duration::ZERO, "{id}");
+            assert!(goodput > 0.0, "{id}");
+            let folded = folded_report(id).unwrap();
+            assert!(
+                folded.lines().count() >= 3,
+                "{id} folded too thin:\n{folded}"
+            );
+            let bn = bottleneck_report(id).unwrap();
+            assert!(bn.contains("bottleneck:"), "{id} verdict missing:\n{bn}");
+            let prom = prom_report(id).unwrap();
+            assert!(
+                prom.contains("hni_component_utilization"),
+                "{id} exposition missing family:\n{prom}"
+            );
+        }
+        assert!(profile_experiment("r-t1").is_none());
+        assert!(folded_report("nope").is_none());
+        assert!(bottleneck_report("r-t1").is_none());
+        assert!(prom_report("r-t1").is_none());
+    }
+
+    #[test]
+    fn rf1_bottleneck_report_names_resource_at_every_size() {
+        let bn = bottleneck_report("r-f1").unwrap();
+        for size in experiments::rf1_tx_throughput::SIZES {
+            assert!(bn.contains(&size.to_string()), "size {size} missing:\n{bn}");
+        }
+        assert!(bn.contains("engine") && bn.contains("link"), "{bn}");
     }
 
     #[test]

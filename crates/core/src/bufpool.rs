@@ -151,6 +151,11 @@ impl BufferPool {
     pub fn mean_in_use(&self, end: Time) -> f64 {
         self.occupancy.mean(end)
     }
+    /// The time-weighted occupancy tracker itself, for callers that
+    /// want the full gauge statistics (peak *and* mean in one place).
+    pub fn occupancy(&self) -> &OccupancyTracker {
+        &self.occupancy
+    }
     /// Cells that found no buffer.
     pub fn alloc_failures(&self) -> u64 {
         self.alloc_failures
@@ -227,6 +232,8 @@ mod tests {
         // 2 buffers for 1 µs, 0 for 1 µs → mean 1.
         let mean = p.mean_in_use(Time::from_us(2));
         assert!((mean - 1.0).abs() < 1e-9, "{mean}");
+        // The raw tracker agrees with the convenience accessors.
+        assert_eq!(p.occupancy().peak(), p.peak_in_use());
     }
 
     #[test]

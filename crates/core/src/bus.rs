@@ -23,6 +23,7 @@
 //! approximated by the fine interleaving of cell-scale requests).
 
 use hni_sim::{Duration, Time};
+use hni_telemetry::{Activity, Component, Profiler};
 
 /// Bus timing and width parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -131,6 +132,38 @@ impl Bus {
         self.next_free
     }
 
+    /// [`Bus::grant`] with cycle accounting: the burst's setup and
+    /// turnaround cycles are charged as [`Activity::Arbitration`] and
+    /// its data cycles as [`Activity::Transfer`] on `component`
+    /// (`TxBus` or `RxBus`, since each adaptor has its own channel).
+    /// Charges start when the burst actually begins — after any FCFS
+    /// queueing delay — so bus charges never overlap.
+    pub fn grant_profiled(
+        &mut self,
+        now: Time,
+        words: u32,
+        bytes: usize,
+        component: Component,
+        profiler: &mut dyn Profiler,
+    ) -> Time {
+        if profiler.enabled() {
+            let start = now.max(self.next_free);
+            let cycle = self.cfg.cycle();
+            let setup = cycle.times(self.cfg.burst_setup_cycles as u64);
+            let data = cycle.times(words as u64);
+            let turnaround = cycle.times(self.cfg.turnaround_cycles as u64);
+            profiler.charge(component, Activity::Arbitration, start, setup);
+            profiler.charge(component, Activity::Transfer, start + setup, data);
+            profiler.charge(
+                component,
+                Activity::Arbitration,
+                start + setup + data,
+                turnaround,
+            );
+        }
+        self.grant(now, words, bytes)
+    }
+
     /// Earliest instant a new request could start.
     pub fn next_free(&self) -> Time {
         self.next_free
@@ -230,6 +263,52 @@ mod tests {
         assert_eq!(bus.grants(), 2);
         assert_eq!(bus.bytes_moved(), 64);
         assert_eq!(bus.busy_time(), Duration::from_ns(1200));
+    }
+
+    #[test]
+    fn profiled_grant_matches_plain_and_splits_overhead() {
+        use hni_telemetry::{CycleProfiler, NullProfiler};
+
+        let mut plain = Bus::new(BusConfig::default());
+        let mut profiled = Bus::new(BusConfig::default());
+        let mut prof = CycleProfiler::new();
+        let e1 = plain.grant(Time::ZERO, 8, 32);
+        let e2 = profiled.grant_profiled(Time::ZERO, 8, 32, Component::TxBus, &mut prof);
+        assert_eq!(e1, e2);
+        assert_eq!(plain.busy_time(), profiled.busy_time());
+        let p = prof.snapshot(e2);
+        // 8 data cycles × 40 ns, 7 overhead cycles × 40 ns.
+        assert_eq!(
+            p.total(Component::TxBus, Activity::Transfer),
+            Duration::from_ns(320)
+        );
+        assert_eq!(
+            p.total(Component::TxBus, Activity::Arbitration),
+            Duration::from_ns(280)
+        );
+        // Transfer + arbitration account for the whole grant.
+        assert_eq!(p.active_time(Component::TxBus), profiled.busy_time());
+
+        // With the NullProfiler the call degenerates to grant().
+        let mut off = Bus::new(BusConfig::default());
+        let e3 = off.grant_profiled(Time::ZERO, 8, 32, Component::TxBus, &mut NullProfiler);
+        assert_eq!(e3, e1);
+    }
+
+    #[test]
+    fn profiled_grant_charges_from_queued_start() {
+        use hni_telemetry::CycleProfiler;
+
+        let mut bus = Bus::new(BusConfig::default());
+        let mut prof = CycleProfiler::with_window(Duration::from_ns(600));
+        bus.grant_profiled(Time::ZERO, 8, 32, Component::RxBus, &mut prof);
+        // Requested at 0 but queued behind the first burst: charges must
+        // land in [600, 1200) ns, i.e. the second 600 ns window.
+        bus.grant_profiled(Time::ZERO, 8, 32, Component::RxBus, &mut prof);
+        let p = prof.snapshot(Time::from_ns(1200));
+        let s = p.series(Component::RxBus);
+        assert_eq!(s.busy(0), Duration::from_ns(600));
+        assert_eq!(s.busy(1), Duration::from_ns(600));
     }
 
     #[test]

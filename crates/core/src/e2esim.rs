@@ -13,11 +13,11 @@
 //! frame boundaries (cells ride a continuous slot stream; framing
 //! overhead is already accounted in the slot rate).
 
-use crate::rxsim::{run_rx_instrumented, CellArrival, RxConfig, RxPktMeta, RxWorkload};
-use crate::txsim::{run_tx_instrumented, TxConfig, TxPacket};
+use crate::rxsim::{run_rx_full, CellArrival, RxConfig, RxPktMeta, RxWorkload};
+use crate::txsim::{run_tx_full, TxConfig, TxPacket};
 use hni_aal::AalType;
 use hni_sim::{Duration, Summary, Time};
-use hni_telemetry::{NullTracer, Tracer};
+use hni_telemetry::{NullProfiler, NullTracer, Profiler, Tracer};
 use std::collections::HashMap;
 
 /// End-to-end results.
@@ -45,7 +45,14 @@ pub fn run_e2e(
     packets: &[TxPacket],
     propagation: Duration,
 ) -> E2eReport {
-    run_e2e_instrumented(tx_cfg, rx_cfg, packets, propagation, &mut NullTracer)
+    run_e2e_full(
+        tx_cfg,
+        rx_cfg,
+        packets,
+        propagation,
+        &mut NullTracer,
+        &mut NullProfiler,
+    )
 }
 
 /// [`run_e2e`] with a tracer observing both pipeline halves on one
@@ -59,11 +66,51 @@ pub fn run_e2e_instrumented(
     propagation: Duration,
     tracer: &mut dyn Tracer,
 ) -> E2eReport {
+    run_e2e_full(
+        tx_cfg,
+        rx_cfg,
+        packets,
+        propagation,
+        tracer,
+        &mut NullProfiler,
+    )
+}
+
+/// [`run_e2e`] with a profiler charging both pipeline halves onto one
+/// shared clock. The transmit adaptor's resources appear as `tx.*`, the
+/// receive adaptor's as `rx.*`, so a single profile ranks all nine
+/// path resources against each other — the bottleneck table R-O1 uses.
+pub fn run_e2e_profiled(
+    tx_cfg: &TxConfig,
+    rx_cfg: &RxConfig,
+    packets: &[TxPacket],
+    propagation: Duration,
+    profiler: &mut dyn Profiler,
+) -> E2eReport {
+    run_e2e_full(
+        tx_cfg,
+        rx_cfg,
+        packets,
+        propagation,
+        &mut NullTracer,
+        profiler,
+    )
+}
+
+/// The full-instrumentation entry: tracer and profiler together.
+pub(crate) fn run_e2e_full(
+    tx_cfg: &TxConfig,
+    rx_cfg: &RxConfig,
+    packets: &[TxPacket],
+    propagation: Duration,
+    tracer: &mut dyn Tracer,
+    profiler: &mut dyn Profiler,
+) -> E2eReport {
     assert_eq!(
         tx_cfg.aal, rx_cfg.aal,
         "both ends must speak the same adaptation layer"
     );
-    let (tx_report, departures) = run_tx_instrumented(tx_cfg, packets, tracer);
+    let (tx_report, departures) = run_tx_full(tx_cfg, packets, tracer, profiler);
 
     // Packet table: connection indices assigned per VC, cell counts from
     // the AAL arithmetic.
@@ -90,7 +137,7 @@ pub fn run_e2e_instrumented(
         })
         .collect();
     let wl = RxWorkload { arrivals, pkts };
-    let (rx_report, completions) = run_rx_instrumented(rx_cfg, &wl, tracer);
+    let (rx_report, completions) = run_rx_full(rx_cfg, &wl, tracer, profiler);
 
     let mut latency = Summary::new();
     let mut delivered_octets = 0u64;

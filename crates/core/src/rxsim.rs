@@ -32,7 +32,9 @@ use crate::engine::{HwPartition, ProtocolEngine, TaskKind};
 use hni_aal::AalType;
 use hni_sim::{Duration, EventQueue, Summary, Time};
 use hni_sonet::LineRate;
-use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer};
+use hni_telemetry::{
+    Activity, Component, NullProfiler, NullTracer, Profiler, Stage, TraceEvent, Tracer,
+};
 use std::collections::VecDeque;
 
 /// Receive-pipeline configuration.
@@ -195,8 +197,13 @@ pub struct RxReport {
     pub pool_mean: f64,
     /// Packet latency (first cell arrival → completion), µs.
     pub packet_latency_us: Summary,
-    /// When the last packet completed.
+    /// When the last packet completed ([`Time::ZERO`] if none did).
     pub finished_at: Time,
+    /// End of all simulated activity: the later of `finished_at` and
+    /// the final event processed. Unlike `finished_at` this is nonzero
+    /// even when overload dooms every packet, so it is the right span
+    /// for utilization math and profile snapshots.
+    pub run_end: Time,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -228,14 +235,20 @@ struct PktState {
 
 /// Run the receive pipeline over a workload.
 pub fn run_rx(cfg: &RxConfig, wl: &RxWorkload) -> RxReport {
-    run_rx_inner(cfg, wl, &mut None, &mut NullTracer)
+    run_rx_inner(cfg, wl, &mut None, &mut NullTracer, &mut NullProfiler)
 }
 
 /// Like [`run_rx`], additionally returning each packet's completion
 /// time (`None` for packets that never completed).
 pub fn run_rx_traced(cfg: &RxConfig, wl: &RxWorkload) -> (RxReport, Vec<Option<Time>>) {
     let mut completions = Some(vec![None; wl.pkts.len()]);
-    let report = run_rx_inner(cfg, wl, &mut completions, &mut NullTracer);
+    let report = run_rx_inner(
+        cfg,
+        wl,
+        &mut completions,
+        &mut NullTracer,
+        &mut NullProfiler,
+    );
     (report, completions.expect("trace requested"))
 }
 
@@ -248,8 +261,32 @@ pub fn run_rx_instrumented(
     wl: &RxWorkload,
     tracer: &mut dyn Tracer,
 ) -> (RxReport, Vec<Option<Time>>) {
+    run_rx_full(cfg, wl, tracer, &mut NullProfiler)
+}
+
+/// Like [`run_rx_traced`], charging every simulated interval into the
+/// cycle-accounting `profiler`: engine busy time and stalls
+/// (`rx.engine`), delivery-DMA bus cycles (`rx.bus`), arriving cell
+/// slots (`rx.link`), and the input-FIFO and reassembly-pool occupancy
+/// gauges (`rx.fifo`, `rx.pool`).
+pub fn run_rx_profiled(
+    cfg: &RxConfig,
+    wl: &RxWorkload,
+    profiler: &mut dyn Profiler,
+) -> (RxReport, Vec<Option<Time>>) {
+    run_rx_full(cfg, wl, &mut NullTracer, profiler)
+}
+
+/// Both observability sinks at once — what the end-to-end composition
+/// runs so one pass can feed the tracer and the profiler.
+pub(crate) fn run_rx_full(
+    cfg: &RxConfig,
+    wl: &RxWorkload,
+    tracer: &mut dyn Tracer,
+    profiler: &mut dyn Profiler,
+) -> (RxReport, Vec<Option<Time>>) {
     let mut completions = Some(vec![None; wl.pkts.len()]);
-    let report = run_rx_inner(cfg, wl, &mut completions, tracer);
+    let report = run_rx_inner(cfg, wl, &mut completions, tracer, profiler);
     (report, completions.expect("trace requested"))
 }
 
@@ -258,6 +295,7 @@ fn run_rx_inner(
     wl: &RxWorkload,
     completions: &mut Option<Vec<Option<Time>>>,
     tracer: &mut dyn Tracer,
+    profiler: &mut dyn Profiler,
 ) -> RxReport {
     let engine = ProtocolEngine::new(cfg.mips, cfg.partition.clone());
     let mut bus = Bus::new(cfg.bus);
@@ -290,6 +328,11 @@ fn run_rx_inner(
     let mut task_q: VecDeque<RTask> = VecDeque::new();
     let mut engine_busy = false;
     let mut engine_busy_total = Duration::ZERO;
+    // Profiler bookkeeping (see txsim): the burst counter is cheap and
+    // unconditional; the idle marker only exists while profiling.
+    let mut bursts_in_flight: u32 = 0;
+    let mut engine_idle_since: Option<(Time, Activity)> = None;
+    let slot = cfg.rate.cell_slot_time();
 
     let mut dropped_fifo = 0u64;
     let mut dropped_pool = 0u64;
@@ -308,6 +351,9 @@ fn run_rx_inner(
             if !engine_busy {
                 // Cells first — an unconsumed cell is a lost cell.
                 let task = if let Some((p, last)) = fifo.pop_front() {
+                    if profiler.enabled() {
+                        profiler.gauge(Component::RxFifo, $now, fifo.len() as u64);
+                    }
                     Some(RTask::Cell(p, last))
                 } else {
                     task_q.pop_front()
@@ -321,6 +367,17 @@ fn run_rx_inner(
                         RTask::Complete(_) => engine.task_time(TaskKind::RxPacketComplete),
                     };
                     engine_busy_total += t;
+                    if profiler.enabled() {
+                        if let Some((since, cause)) = engine_idle_since.take() {
+                            profiler.charge(
+                                Component::RxEngine,
+                                cause,
+                                since,
+                                $now.saturating_since(since),
+                            );
+                        }
+                        profiler.charge(Component::RxEngine, Activity::Busy, $now, t);
+                    }
                     if tracer.enabled() {
                         // Open a span for the bundled per-cell work and the
                         // per-packet tasks (closed at EngineDone).
@@ -343,6 +400,16 @@ fn run_rx_inner(
                         }
                     }
                     $q.schedule_in(t, REv::EngineDone(task));
+                } else if profiler.enabled() && engine_idle_since.is_none() {
+                    // Receive stalls: an outstanding delivery DMA means
+                    // the completion is waiting on the bus; otherwise
+                    // the engine is simply between arrivals.
+                    let cause = if bursts_in_flight > 0 {
+                        Activity::StalledBus
+                    } else {
+                        Activity::Idle
+                    };
+                    engine_idle_since = Some(($now, cause));
                 }
             }
         };
@@ -353,6 +420,12 @@ fn run_rx_inner(
             REv::CellArrive(i) => {
                 let a = wl.arrivals[i];
                 let conn = wl.pkts[a.pkt].conn as u32;
+                if profiler.enabled() {
+                    // The cell occupied the line for the slot that ended
+                    // at its arrival (saturating for an arrival at t=0).
+                    let from = Time::from_ps(now.as_ps().saturating_sub(slot.as_ps()));
+                    profiler.charge(Component::RxLink, Activity::Transfer, from, slot);
+                }
                 if tracer.enabled() {
                     tracer.record(
                         TraceEvent::instant(now, Stage::RxCellArrive)
@@ -379,6 +452,9 @@ fn run_rx_inner(
                 } else {
                     fifo.push_back((a.pkt, a.is_last));
                     fifo_peak = fifo_peak.max(fifo.len() as u64);
+                    if profiler.enabled() {
+                        profiler.gauge(Component::RxFifo, now, fifo.len() as u64);
+                    }
                     if tracer.enabled() {
                         tracer.record(
                             TraceEvent::instant(now, Stage::RxFifoEnqueue)
@@ -406,6 +482,9 @@ fn run_rx_inner(
                             dropped_pool += 1;
                             st.doomed = true;
                         }
+                        if profiler.enabled() {
+                            profiler.gauge(Component::RxPool, now, pool.in_use() as u64);
+                        }
                         if tracer.enabled() {
                             let stage = if appended {
                                 Stage::RxReasmAppend
@@ -423,6 +502,9 @@ fn run_rx_inner(
                             if st.doomed {
                                 // Abandon: free whatever was chained.
                                 pool.release_chain(now, p as u32);
+                                if profiler.enabled() {
+                                    profiler.gauge(Component::RxPool, now, pool.in_use() as u64);
+                                }
                             } else {
                                 if tracer.enabled() {
                                     tracer.record(
@@ -453,7 +535,14 @@ fn run_rx_inner(
                         } else if engine.partition.in_hardware(TaskKind::RxDmaBurst) {
                             st.bursts_issued += 1;
                             let words = cfg.bus.burst_words(wl.pkts[p].len.max(1), 0);
-                            let done = bus.grant(now, words, words as usize * cfg.bus.word_bytes);
+                            let done = bus.grant_profiled(
+                                now,
+                                words,
+                                words as usize * cfg.bus.word_bytes,
+                                Component::RxBus,
+                                profiler,
+                            );
+                            bursts_in_flight += 1;
                             q.schedule(done, REv::BusDone(p));
                         } else {
                             st.bursts_issued += 1;
@@ -463,7 +552,14 @@ fn run_rx_inner(
                     RTask::Burst(p) => {
                         let bi = pkts[p].bursts_issued - 1;
                         let words = cfg.bus.burst_words(wl.pkts[p].len.max(1), bi);
-                        let done = bus.grant(now, words, words as usize * cfg.bus.word_bytes);
+                        let done = bus.grant_profiled(
+                            now,
+                            words,
+                            words as usize * cfg.bus.word_bytes,
+                            Component::RxBus,
+                            profiler,
+                        );
+                        bursts_in_flight += 1;
                         q.schedule(done, REv::BusDone(p));
                     }
                     RTask::Complete(p) => {
@@ -479,6 +575,9 @@ fn run_rx_inner(
                             );
                         }
                         pool.release_chain(now, p as u32);
+                        if profiler.enabled() {
+                            profiler.gauge(Component::RxPool, now, pool.in_use() as u64);
+                        }
                         delivered_packets += 1;
                         delivered_octets += meta.len as u64;
                         finished_at = now;
@@ -493,6 +592,7 @@ fn run_rx_inner(
                 kick_engine!(q, now);
             }
             REv::BusDone(p) => {
+                bursts_in_flight -= 1;
                 if tracer.enabled() {
                     tracer.record(
                         TraceEvent::instant(now, Stage::RxDmaBurst)
@@ -507,7 +607,14 @@ fn run_rx_inner(
                     if engine.partition.in_hardware(TaskKind::RxDmaBurst) {
                         let bi = st.bursts_issued - 1;
                         let words = cfg.bus.burst_words(wl.pkts[p].len.max(1), bi);
-                        let done = bus.grant(now, words, words as usize * cfg.bus.word_bytes);
+                        let done = bus.grant_profiled(
+                            now,
+                            words,
+                            words as usize * cfg.bus.word_bytes,
+                            Component::RxBus,
+                            profiler,
+                        );
+                        bursts_in_flight += 1;
                         q.schedule(done, REv::BusDone(p));
                     } else {
                         task_q.push_back(RTask::Burst(p));
@@ -546,6 +653,7 @@ fn run_rx_inner(
         pool_mean: pool.mean_in_use(end),
         packet_latency_us: latency,
         finished_at,
+        run_end: end,
     }
 }
 

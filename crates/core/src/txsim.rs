@@ -35,7 +35,9 @@ use hni_aal::AalType;
 use hni_atm::{Gcra, VcId};
 use hni_sim::{Duration, EventQueue, Summary, Time};
 use hni_sonet::LineRate;
-use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer};
+use hni_telemetry::{
+    Activity, Component, NullProfiler, NullTracer, Profiler, Stage, TraceEvent, Tracer,
+};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -179,7 +181,7 @@ pub struct CellDeparture {
 
 /// Run the transmit pipeline over `packets` (need not be sorted).
 pub fn run_tx(cfg: &TxConfig, packets: &[TxPacket]) -> TxReport {
-    run_tx_inner(cfg, packets, &mut None, &mut NullTracer)
+    run_tx_inner(cfg, packets, &mut None, &mut NullTracer, &mut NullProfiler)
 }
 
 /// Like [`run_tx`], additionally returning every cell's departure time —
@@ -187,7 +189,7 @@ pub fn run_tx(cfg: &TxConfig, packets: &[TxPacket]) -> TxReport {
 /// receive pipeline.
 pub fn run_tx_traced(cfg: &TxConfig, packets: &[TxPacket]) -> (TxReport, Vec<CellDeparture>) {
     let mut trace = Some(Vec::new());
-    let report = run_tx_inner(cfg, packets, &mut trace, &mut NullTracer);
+    let report = run_tx_inner(cfg, packets, &mut trace, &mut NullTracer, &mut NullProfiler);
     (report, trace.expect("trace requested"))
 }
 
@@ -199,8 +201,32 @@ pub fn run_tx_instrumented(
     packets: &[TxPacket],
     tracer: &mut dyn Tracer,
 ) -> (TxReport, Vec<CellDeparture>) {
+    run_tx_full(cfg, packets, tracer, &mut NullProfiler)
+}
+
+/// Like [`run_tx_traced`], charging every simulated interval into the
+/// cycle-accounting `profiler`: engine busy time and its classified
+/// stalls (`tx.engine`), bus data and arbitration cycles (`tx.bus`),
+/// framer cell slots (`tx.link`), and the output-FIFO occupancy gauge
+/// (`tx.fifo`).
+pub fn run_tx_profiled(
+    cfg: &TxConfig,
+    packets: &[TxPacket],
+    profiler: &mut dyn Profiler,
+) -> (TxReport, Vec<CellDeparture>) {
+    run_tx_full(cfg, packets, &mut NullTracer, profiler)
+}
+
+/// Both observability sinks at once — what the end-to-end composition
+/// runs so one pass can feed the tracer and the profiler.
+pub(crate) fn run_tx_full(
+    cfg: &TxConfig,
+    packets: &[TxPacket],
+    tracer: &mut dyn Tracer,
+    profiler: &mut dyn Profiler,
+) -> (TxReport, Vec<CellDeparture>) {
     let mut trace = Some(Vec::new());
-    let report = run_tx_inner(cfg, packets, &mut trace, tracer);
+    let report = run_tx_inner(cfg, packets, &mut trace, tracer, profiler);
     (report, trace.expect("trace requested"))
 }
 
@@ -209,6 +235,7 @@ fn run_tx_inner(
     packets: &[TxPacket],
     trace: &mut Option<Vec<CellDeparture>>,
     tracer: &mut dyn Tracer,
+    profiler: &mut dyn Profiler,
 ) -> TxReport {
     let engine = ProtocolEngine::new(cfg.mips, cfg.partition.clone());
     let mut bus = Bus::new(cfg.bus);
@@ -228,6 +255,12 @@ fn run_tx_inner(
     let mut engine_q: VecDeque<ETask> = VecDeque::new();
     let mut engine_busy = false;
     let mut engine_busy_total = Duration::ZERO;
+    // Profiler bookkeeping. `bursts_in_flight` is maintained even with
+    // the profiler off (one integer per burst, no behavioral effect) so
+    // the hot path stays branch-identical; the idle marker only exists
+    // while profiling.
+    let mut bursts_in_flight: u32 = 0;
+    let mut engine_idle_since: Option<(Time, Activity)> = None;
 
     let mut fifo: VecDeque<(usize, bool, usize)> = VecDeque::new(); // (ctx, is_last, pkt idx)
     let mut fifo_peak: u64 = 0;
@@ -260,6 +293,17 @@ fn run_tx_inner(
                         ETask::Complete(_) => engine.task_time(TaskKind::TxPacketComplete),
                     };
                     engine_busy_total += t;
+                    if profiler.enabled() {
+                        if let Some((since, cause)) = engine_idle_since.take() {
+                            profiler.charge(
+                                Component::TxEngine,
+                                cause,
+                                since,
+                                $now.saturating_since(since),
+                            );
+                        }
+                        profiler.charge(Component::TxEngine, Activity::Busy, $now, t);
+                    }
                     if tracer.enabled() {
                         // Open a span for the engine's per-packet setup and
                         // per-cell segmentation work (closed at EngineDone).
@@ -282,6 +326,20 @@ fn run_tx_inner(
                         }
                     }
                     $q.schedule_in(t, Ev::EngineDone(task));
+                } else if profiler.enabled() && engine_idle_since.is_none() {
+                    // The engine goes idle here; classify the cause at
+                    // the moment the stall begins. Outstanding DMA means
+                    // the next cell is waiting on the bus; a cell parked
+                    // in `pending_push` means segmentation is blocked on
+                    // FIFO space; otherwise there is simply no work.
+                    let cause = if bursts_in_flight > 0 {
+                        Activity::StalledBus
+                    } else if !pending_push.is_empty() {
+                        Activity::StalledFifo
+                    } else {
+                        Activity::Idle
+                    };
+                    engine_idle_since = Some(($now, cause));
                 }
             }
         };
@@ -354,6 +412,8 @@ fn run_tx_inner(
                                 &mut bus,
                                 now,
                                 &mut q,
+                                profiler,
+                                &mut bursts_in_flight,
                             );
                         }
                     }
@@ -366,7 +426,9 @@ fn run_tx_inner(
                             (words as usize * cfg.bus.word_bytes).min(pkt.len.saturating_sub(
                                 bi as usize * cfg.bus.max_burst_words as usize * cfg.bus.word_bytes,
                             ));
-                        let done = bus.grant(now, words, bytes);
+                        let done =
+                            bus.grant_profiled(now, words, bytes, Component::TxBus, profiler);
+                        bursts_in_flight += 1;
                         q.schedule(done, Ev::BurstDone(ci));
                     }
                     ETask::Cell(ci) => {
@@ -395,6 +457,7 @@ fn run_tx_inner(
                             &mut engine_q,
                             payload_per_cell,
                             tracer,
+                            profiler,
                         );
                         ensure_framer!(q);
                     }
@@ -418,6 +481,7 @@ fn run_tx_inner(
                 kick_engine!(q, now);
             }
             Ev::BurstDone(ci) => {
+                bursts_in_flight -= 1;
                 let (more, added, idx) = {
                     let pkt = ctxs[ci].cur.as_mut().expect("burst done without packet");
                     let per = cfg.bus.max_burst_words as usize * cfg.bus.word_bytes;
@@ -447,6 +511,8 @@ fn run_tx_inner(
                         &mut bus,
                         now,
                         &mut q,
+                        profiler,
+                        &mut bursts_in_flight,
                     );
                 }
                 try_start_cell(&mut ctxs[ci], &mut engine_q, payload_per_cell);
@@ -465,6 +531,7 @@ fn run_tx_inner(
                     &mut engine_q,
                     payload_per_cell,
                     tracer,
+                    profiler,
                 );
                 ensure_framer!(q);
                 kick_engine!(q, now);
@@ -473,6 +540,12 @@ fn run_tx_inner(
                 slots_elapsed += 1;
                 if let Some((ci, is_last, pkt_idx)) = fifo.pop_front() {
                     cells_sent += 1;
+                    if profiler.enabled() {
+                        // The cell occupied the slot that just elapsed.
+                        let from = Time::from_ps(now.as_ps().saturating_sub(slot.as_ps()));
+                        profiler.charge(Component::TxLink, Activity::Transfer, from, slot);
+                        profiler.gauge(Component::TxFifo, now, fifo.len() as u64);
+                    }
                     if tracer.enabled() {
                         tracer.record(
                             TraceEvent::instant(now, Stage::TxFramer)
@@ -521,6 +594,7 @@ fn run_tx_inner(
                             &mut engine_q,
                             payload_per_cell,
                             tracer,
+                            profiler,
                         );
                     }
                 }
@@ -620,6 +694,8 @@ fn issue_burst(
     bus: &mut Bus,
     now: Time,
     q: &mut EventQueue<Ev>,
+    profiler: &mut dyn Profiler,
+    bursts_in_flight: &mut u32,
 ) {
     let pkt = ctx.cur.as_mut().expect("burst for missing packet");
     debug_assert!(pkt.bursts_issued < pkt.bursts_total);
@@ -630,7 +706,8 @@ fn issue_burst(
         let words = cfg.bus.burst_words(pkt.len.max(1), bi);
         let base = bi as usize * cfg.bus.max_burst_words as usize * cfg.bus.word_bytes;
         let bytes = (words as usize * cfg.bus.word_bytes).min(pkt.len.saturating_sub(base));
-        let done = bus.grant(now, words, bytes);
+        let done = bus.grant_profiled(now, words, bytes, Component::TxBus, profiler);
+        *bursts_in_flight += 1;
         q.schedule(done, Ev::BurstDone(ci));
     } else {
         engine_q.push_back(ETask::Burst(ci));
@@ -667,6 +744,7 @@ fn attempt_push(
     engine_q: &mut VecDeque<ETask>,
     payload_per_cell: usize,
     tracer: &mut dyn Tracer,
+    profiler: &mut dyn Profiler,
 ) {
     let ctx = &mut ctxs[ci];
     let Some(pkt) = ctx.cur.as_mut() else { return };
@@ -695,6 +773,9 @@ fn attempt_push(
     let is_last = cell_idx + 1 == pkt.cells_total;
     fifo.push_back((ci, is_last, pkt.idx));
     *fifo_peak = (*fifo_peak).max(fifo.len() as u64);
+    if profiler.enabled() {
+        profiler.gauge(Component::TxFifo, now, fifo.len() as u64);
+    }
     if tracer.enabled() {
         tracer.record(
             TraceEvent::instant(now, Stage::TxFifoEnqueue)

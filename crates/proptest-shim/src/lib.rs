@@ -248,7 +248,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// A length specification for [`vec`]: an exact size or a range, as
+    /// A length specification for [`vec()`]: an exact size or a range, as
     /// upstream's `Into<SizeRange>` bound accepts.
     pub struct SizeRange(core::ops::Range<usize>);
 

@@ -333,6 +333,13 @@ impl RateMeter {
 /// Feed it every occupancy change; it integrates occupancy over time to
 /// give the true time-average, plus the peak — the two numbers buffer
 /// sizing is done from.
+///
+/// Timestamps are expected to be non-decreasing. An out-of-order sample
+/// is **clamped**, not honored retroactively: the level and peak update
+/// immediately, the interval contributes zero area (`saturating_since`
+/// yields zero), and the tracker's clock does *not* rewind — later
+/// in-order samples keep integrating from the latest time ever seen.
+/// For monotonic inputs the behavior is unchanged.
 #[derive(Clone, Debug, Default)]
 pub struct OccupancyTracker {
     current: u64,
@@ -352,12 +359,22 @@ impl OccupancyTracker {
         if self.started {
             let dt = now.saturating_since(self.last_change).as_ps();
             self.weighted_area += self.current as u128 * dt as u128;
+            // Clamp, don't rewind: an out-of-order `now` must not drag
+            // the clock backwards, or the next in-order sample would
+            // double-integrate the interval it re-crosses.
+            if now > self.last_change {
+                self.last_change = now;
+            }
+        } else {
+            self.started = true;
+            self.last_change = now;
         }
-        self.started = true;
-        self.last_change = now;
     }
 
     /// Set occupancy to an absolute value at time `now`.
+    ///
+    /// `now` earlier than the previous change is clamped (see the type
+    /// docs): the level changes, the clock does not move back.
     pub fn set(&mut self, now: Time, occupancy: u64) {
         self.integrate(now);
         self.current = occupancy;
@@ -562,6 +579,36 @@ mod tests {
         let mean = o.mean(Time::from_us(2));
         assert!((mean - 5.0).abs() < 1e-9, "mean={mean}");
         assert_eq!(o.peak(), 10);
+    }
+
+    #[test]
+    fn occupancy_non_monotonic_set_clamps_without_rewinding() {
+        let mut o = OccupancyTracker::new();
+        o.set(Time::ZERO, 4);
+        o.set(Time::from_us(2), 8); // area += 4 · 2µs
+                                    // Out of order: level and peak update, zero retroactive area,
+                                    // and the clock stays at 2 µs.
+        o.set(Time::from_us(1), 100);
+        assert_eq!(o.current(), 100);
+        assert_eq!(o.peak(), 100);
+        // In-order again: integrates 100 from 2 µs (not from 1 µs).
+        o.set(Time::from_us(3), 0); // area += 100 · 1µs
+        let mean = o.mean(Time::from_us(4)); // (8 + 100) / 4
+        assert!((mean - 27.0).abs() < 1e-9, "mean={mean}");
+    }
+
+    #[test]
+    fn occupancy_repeated_timestamp_is_fine() {
+        // Equal timestamps are the degenerate in-order case: zero-width
+        // intervals, last write wins on the level.
+        let mut o = OccupancyTracker::new();
+        o.set(Time::from_us(1), 3);
+        o.set(Time::from_us(1), 7);
+        o.set(Time::from_us(1), 2);
+        assert_eq!(o.current(), 2);
+        assert_eq!(o.peak(), 7);
+        let mean = o.mean(Time::from_us(2)); // 2 for 1µs over a 2µs span
+        assert!((mean - 1.0).abs() < 1e-9, "mean={mean}");
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Prometheus-style text exposition of a [`Profile`].
+//!
+//! One deterministic snapshot render in the classic
+//! `metric{label="…"} value` line format: activity time counters,
+//! per-component utilization, occupancy gauges and windowed
+//! high-watermark utilization. The output is stable across runs of the
+//! same simulation (no timestamps, canonical ordering), so it can be
+//! golden-tested and diffed.
+
+use crate::profiler::{Activity, Component, Profile};
+use hni_sim::Duration;
+use std::fmt::Write as _;
+
+/// Render a profile snapshot in Prometheus text exposition format.
+pub fn expose(profile: &Profile) -> String {
+    let mut out = String::new();
+
+    writeln!(out, "# TYPE hni_profile_span_seconds gauge").unwrap();
+    writeln!(
+        out,
+        "hni_profile_span_seconds {:.9}",
+        profile.span().as_s_f64()
+    )
+    .unwrap();
+
+    writeln!(out, "# TYPE hni_activity_time_seconds counter").unwrap();
+    for c in Component::ALL {
+        for a in Activity::ALL {
+            let t = profile.total(c, a);
+            if t > Duration::ZERO {
+                writeln!(
+                    out,
+                    "hni_activity_time_seconds{{component=\"{}\",activity=\"{}\"}} {:.9}",
+                    c.name(),
+                    a.name(),
+                    t.as_s_f64()
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    writeln!(out, "# TYPE hni_component_utilization gauge").unwrap();
+    for c in Component::ALL {
+        if profile.active_time(c) > Duration::ZERO {
+            writeln!(
+                out,
+                "hni_component_utilization{{component=\"{}\"}} {:.6}",
+                c.name(),
+                profile.utilization(c)
+            )
+            .unwrap();
+        }
+    }
+
+    writeln!(out, "# TYPE hni_window_utilization_max gauge").unwrap();
+    for c in Component::ALL {
+        if let Some((_, u)) = profile.high_watermark(c) {
+            writeln!(
+                out,
+                "hni_window_utilization_max{{component=\"{}\"}} {:.6}",
+                c.name(),
+                u
+            )
+            .unwrap();
+        }
+    }
+
+    writeln!(out, "# TYPE hni_occupancy_peak gauge").unwrap();
+    writeln!(out, "# TYPE hni_occupancy_mean gauge").unwrap();
+    for c in Component::ALL {
+        let g = profile.gauge(c);
+        if g.peak > 0 {
+            writeln!(
+                out,
+                "hni_occupancy_peak{{component=\"{}\"}} {}",
+                c.name(),
+                g.peak
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "hni_occupancy_mean{{component=\"{}\"}} {:.6}",
+                c.name(),
+                g.mean
+            )
+            .unwrap();
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{CycleProfiler, Profiler};
+    use hni_sim::Time;
+
+    fn sample_profile() -> Profile {
+        let mut p = CycleProfiler::with_window(Duration::from_us(10));
+        p.charge(
+            Component::TxEngine,
+            Activity::Busy,
+            Time::ZERO,
+            Duration::from_us(4),
+        );
+        p.charge(
+            Component::TxBus,
+            Activity::Transfer,
+            Time::from_us(1),
+            Duration::from_us(2),
+        );
+        p.charge(
+            Component::TxBus,
+            Activity::Arbitration,
+            Time::from_us(3),
+            Duration::from_us(1),
+        );
+        p.gauge(Component::TxFifo, Time::ZERO, 3);
+        p.gauge(Component::TxFifo, Time::from_us(5), 0);
+        p.snapshot(Time::from_us(10))
+    }
+
+    #[test]
+    fn exposition_contains_all_families_and_samples() {
+        let text = expose(&sample_profile());
+        assert!(text.contains("# TYPE hni_profile_span_seconds gauge"));
+        assert!(text.contains("hni_profile_span_seconds 0.000010000"));
+        assert!(
+            text.contains("hni_activity_time_seconds{component=\"tx.engine\",activity=\"busy\"} ")
+        );
+        assert!(text
+            .contains("hni_activity_time_seconds{component=\"tx.bus\",activity=\"arbitration\"} "));
+        assert!(text.contains("hni_component_utilization{component=\"tx.engine\"} 0.400000"));
+        // Bus: (2 + 1) µs over 10 µs.
+        assert!(text.contains("hni_component_utilization{component=\"tx.bus\"} 0.300000"));
+        assert!(text.contains("hni_occupancy_peak{component=\"tx.fifo\"} 3"));
+        assert!(text.contains("hni_occupancy_mean{component=\"tx.fifo\"} 1.500000"));
+        assert!(text.contains("hni_window_utilization_max{component=\"tx.engine\"} 0.400000"));
+        // Uncharged components are absent.
+        assert!(!text.contains("rx.engine"));
+    }
+
+    #[test]
+    fn exposition_is_deterministic() {
+        assert_eq!(expose(&sample_profile()), expose(&sample_profile()));
+    }
+}

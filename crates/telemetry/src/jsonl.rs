@@ -1,6 +1,6 @@
 //! JSONL export: one JSON object per trace event, newline-separated.
 //!
-//! Schema (fields with sentinel [`NO_ID`](crate::NO_ID) are omitted):
+//! Schema (fields with sentinel [`NO_ID`] are omitted):
 //!
 //! ```json
 //! {"t_ps":1234,"stage":"tx.seg","ph":"B","vc":64,"pkt":0,"cell":3,"arg":48}

@@ -25,15 +25,35 @@
 //!   `report --trace <id>` emits.
 //! * [`waterfall`] — the reducer that rebuilds the R-F3 per-stage
 //!   latency breakdown directly from trace spans.
+//! * [`Profiler`] / [`CycleProfiler`] — cycle accounting: every
+//!   simulated interval charged to a `(Component, Activity)` pair, with
+//!   windowed utilization [`TimeSeries`] and occupancy gauges; the
+//!   [`NullProfiler`] makes the layer free when disabled, exactly like
+//!   the tracer.
+//! * [`attribution`] — ranks a [`Profile`]'s resources by utilization
+//!   and computes the throughput ceiling each implies, naming the
+//!   bottleneck (`report bottleneck <id>`).
+//! * [`expfmt`] — a Prometheus-style text exposition of a profile
+//!   snapshot; [`Profile::folded_stacks`] emits flamegraph-collapse
+//!   lines for `report profile <id>`.
 
+pub mod attribution;
 pub mod event;
+pub mod expfmt;
 pub mod jsonl;
 pub mod metrics;
+pub mod profiler;
+pub mod timeseries;
 pub mod tracer;
 pub mod waterfall;
 
+pub use attribution::{attribute, Attribution, ResourceShare};
 pub use event::{Phase, Stage, TraceEvent, NO_ID};
 pub use metrics::{Metric, MetricsRegistry};
+pub use profiler::{
+    Activity, Component, CycleProfiler, GaugeStats, NullProfiler, Profile, Profiler,
+};
+pub use timeseries::TimeSeries;
 pub use tracer::{NullTracer, RingTracer, Tracer, VecTracer};
 pub use waterfall::{StageLatency, Waterfall};
 

@@ -180,6 +180,34 @@ mod tests {
     }
 
     #[test]
+    fn ring_invariants_hold_across_many_wraps() {
+        // Overfill a small ring several times over with a count that is
+        // not a multiple of the capacity, checking the snapshot after
+        // every record: bounded size, oldest→newest ordering with no
+        // gaps, and recorded/overwritten bookkeeping that always sums.
+        let cap = 5usize;
+        let mut t = RingTracer::new(cap);
+        for i in 0u64..23 {
+            t.record(ev(i));
+            let kept: Vec<u64> = t.events().iter().map(|e| e.cell as u64).collect();
+            assert!(kept.len() <= cap, "ring grew past capacity at i={i}");
+            let first = (i + 1).saturating_sub(cap as u64);
+            let expected: Vec<u64> = (first..=i).collect();
+            assert_eq!(kept, expected, "snapshot out of order at i={i}");
+            assert_eq!(t.recorded(), i + 1);
+            assert_eq!(t.overwritten(), first);
+            assert_eq!(
+                t.overwritten() + kept.len() as u64,
+                t.recorded(),
+                "kept + dropped must equal recorded at i={i}"
+            );
+        }
+        // 23 records through a 5-slot ring: 4 full wraps plus 3.
+        assert_eq!(t.recorded(), 23);
+        assert_eq!(t.overwritten(), 18);
+    }
+
+    #[test]
     fn ring_under_capacity_is_plain() {
         let mut t = RingTracer::new(8);
         for i in 0..3 {

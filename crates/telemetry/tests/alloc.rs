@@ -1,11 +1,15 @@
-//! Allocation-count proofs for the tracing hot path.
+//! Allocation-count proofs for the tracing and profiling hot paths.
 //!
 //! A counting global allocator wraps `System`; the tests assert that
 //! recording through a `NullTracer` — and into a warmed `RingTracer` —
-//! performs zero heap allocations, which is what makes it safe to leave
-//! instrumentation in the per-cell steady-state path.
+//! and charging through a `NullProfiler` perform zero heap allocations,
+//! which is what makes it safe to leave instrumentation in the per-cell
+//! steady-state path.
 
-use hni_telemetry::{NullTracer, RingTracer, Stage, Time, TraceEvent, Tracer};
+use hni_telemetry::{
+    Activity, Component, Duration, NullProfiler, NullTracer, Profiler, RingTracer, Stage, Time,
+    TraceEvent, Tracer,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -55,6 +59,27 @@ fn null_tracer_records_without_allocating() {
         }
     });
     assert_eq!(n, 0, "NullTracer hot path allocated {n} times");
+}
+
+#[test]
+fn null_profiler_charges_without_allocating() {
+    // The exact shape of every profiler call site in the simulations:
+    // gate on enabled(), then charge or gauge.
+    let mut p = NullProfiler;
+    let n = allocs_during(|| {
+        for i in 0..100_000u64 {
+            if p.enabled() {
+                p.charge(
+                    Component::RxEngine,
+                    Activity::Busy,
+                    Time::from_ns(i),
+                    Duration::from_ns(600),
+                );
+                p.gauge(Component::RxFifo, Time::from_ns(i), i % 16);
+            }
+        }
+    });
+    assert_eq!(n, 0, "NullProfiler hot path allocated {n} times");
 }
 
 #[test]

@@ -64,7 +64,18 @@ fn ra2_quotes_the_mips_minimums() {
 
 #[test]
 fn experiment_list_is_complete_and_ordered() {
-    assert_eq!(EXPERIMENT_IDS.len(), 15);
+    assert_eq!(EXPERIMENT_IDS.len(), 16);
     assert!(EXPERIMENT_IDS.starts_with(&["r-t1", "r-t2"]));
-    assert!(EXPERIMENT_IDS.ends_with(&["r-a1", "r-a2"]));
+    assert!(EXPERIMENT_IDS.ends_with(&["r-a2", "r-o1"]));
+}
+
+#[test]
+fn ro1_quotes_the_saturation_order() {
+    let out = run_experiment("r-o1").unwrap();
+    assert!(out.contains("measured bottleneck"), "sweep tables missing");
+    assert!(
+        out.contains("saturates first"),
+        "saturation-order statement missing"
+    );
+    assert!(out.contains("engine") && out.contains("link") && out.contains("bus"));
 }
