@@ -16,9 +16,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> smoke: examples trace_waterfall / profile_bottleneck"
+echo "==> chaos invariants under pinned seeds"
+HNI_CHAOS_SEEDS="20260806,1991" cargo test -q -p hni-bench --test chaos
+
+echo "==> smoke: examples trace_waterfall / profile_bottleneck, report r-r1"
 cargo run -q -p hni-bench --example trace_waterfall --release > /dev/null
 cargo run -q -p hni-bench --example profile_bottleneck --release > /dev/null
+cargo run -q -p hni-bench --bin report --release -- r-r1 > /dev/null
 
 echo "==> regenerate report_output.txt (report all)"
 cargo run -q -p hni-bench --bin report --release -- all > report_output.txt

@@ -6,7 +6,7 @@ use hni_aal::AalType;
 use hni_analysis::loss::{default_loss_grid, goodput_under_loss};
 use hni_atm::VcId;
 use hni_core::{Nic, NicConfig, NicEvent};
-use hni_sim::{FaultSpec, Link, LinkDelivery, Rng, Time};
+use hni_sim::{FaultPlan, Link, LinkDelivery, Rng, Time};
 use hni_sonet::LineRate;
 
 /// Functional validation of the analytic survival curve: `n_frames`
@@ -26,11 +26,14 @@ pub fn functional_survival(aal: AalType, len: usize, loss: f64, n_frames: usize,
     a.open_vc(vc).unwrap();
     b.open_vc(vc).unwrap();
 
-    // Cell-level lossy link (rate irrelevant to survival).
+    // Cell-level lossy link (rate irrelevant to survival). The loss
+    // process is the degenerate one-state fault plan — i.i.d. loss and
+    // nothing else — which is exactly what the analytic survival model
+    // assumes; the full Gilbert–Elliott machinery sits idle here.
     let mut link = Link::new(
         1e9,
         hni_sim::Duration::ZERO,
-        FaultSpec::loss(loss),
+        FaultPlan::loss(loss),
         Rng::new(seed),
     );
     let mut seg34 = hni_aal::aal34::Aal34Segmenter::new();

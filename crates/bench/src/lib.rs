@@ -16,9 +16,9 @@ pub mod table;
 pub use table::Table;
 
 /// All experiment ids, in report order.
-pub const EXPERIMENT_IDS: [&str; 16] = [
+pub const EXPERIMENT_IDS: [&str; 17] = [
     "r-t1", "r-t2", "r-t3", "r-t4", "r-t5", "r-f1", "r-f2", "r-f3", "r-f4", "r-f5", "r-f6", "r-f7",
-    "r-f8", "r-a1", "r-a2", "r-o1",
+    "r-f8", "r-a1", "r-a2", "r-o1", "r-r1",
 ];
 
 /// Experiment ids whose underlying runs can be captured as a trace
@@ -137,6 +137,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "r-a1" => Some(experiments::ra1_fifo_depth::run()),
         "r-a2" => Some(experiments::ra2_mips::run()),
         "r-o1" => Some(experiments::ro1_bottleneck::run()),
+        "r-r1" => Some(experiments::rr1_discard::run()),
         _ => None,
     }
 }

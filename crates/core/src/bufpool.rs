@@ -18,6 +18,25 @@
 //! (a failure means a cell had nowhere to land — the frame is lost to
 //! *memory* pressure, not link errors; real interfaces under-provisioned
 //! this and the loss was mysterious at the time).
+//!
+//! ## Discard policies
+//!
+//! Plain drop-tail turns memory pressure into AAL5 goodput collapse:
+//! the pool keeps accepting cells of frames that are already doomed
+//! (one of their cells found no buffer), so under overload almost every
+//! buffer holds a fragment that will fail its CRC. The two classic
+//! remedies from the ATM traffic-management literature are supported as
+//! a [`DiscardPolicy`]:
+//!
+//! * **EPD** (Early Packet Discard): refuse *whole new frames* at
+//!   admission once occupancy crosses a threshold, keeping headroom for
+//!   frames already in flight to complete.
+//! * **PPD** (Partial Packet Discard): the moment one cell of a frame
+//!   is lost to exhaustion, reclaim the frame's buffers immediately and
+//!   refuse the rest of its cells — don't store what can't validate.
+//!
+//! The pool dooms the frame's chain key in both cases and counts every
+//! refused cell per policy, so callers can reconcile cells to reasons.
 
 use hni_sim::{OccupancyTracker, Time};
 use std::collections::HashMap;
@@ -50,8 +69,34 @@ impl PoolConfig {
 /// Why a cell could not be stored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PoolError {
-    /// The free list is empty.
+    /// The free list is empty (drop-tail: the frame is now doomed but
+    /// its siblings keep consuming buffers).
     Exhausted,
+    /// Early Packet Discard refused the frame at admission — occupancy
+    /// had crossed the threshold when its first cell arrived.
+    EarlyDiscard,
+    /// Partial Packet Discard refused the cell — an earlier cell of the
+    /// same frame was lost to exhaustion, so the tail is discarded and
+    /// the frame's buffers were already reclaimed.
+    PartialDiscard,
+}
+
+/// What the pool does when memory pressure bites.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DiscardPolicy {
+    /// Accept every cell until the free list is empty; doomed frames
+    /// keep consuming buffers. The baseline that collapses under load.
+    #[default]
+    DropTail,
+    /// Early Packet Discard: refuse new frames once `threshold` buffers
+    /// are in use (frames already admitted still get buffers).
+    Epd {
+        /// Occupancy (buffers in use) at which new frames are refused.
+        threshold: usize,
+    },
+    /// Partial Packet Discard: on the first exhaustion loss within a
+    /// frame, reclaim its buffers and refuse the rest of its cells.
+    Ppd,
 }
 
 struct Chain {
@@ -62,24 +107,46 @@ struct Chain {
 /// The operational buffer pool.
 pub struct BufferPool {
     cfg: PoolConfig,
+    policy: DiscardPolicy,
     free: usize,
     chains: HashMap<ChainKey, Chain>,
+    doomed: HashMap<ChainKey, PoolError>,
     occupancy: OccupancyTracker,
     alloc_failures: u64,
     cells_stored: u64,
+    epd_discards: u64,
+    ppd_discards: u64,
+    ppd_reclaimed: u64,
 }
 
 impl BufferPool {
-    /// A pool per `cfg`, all buffers free.
+    /// A drop-tail pool per `cfg`, all buffers free.
     pub fn new(cfg: PoolConfig) -> Self {
+        BufferPool::with_policy(cfg, DiscardPolicy::DropTail)
+    }
+
+    /// A pool running the given discard policy.
+    pub fn with_policy(cfg: PoolConfig, policy: DiscardPolicy) -> Self {
         assert!(cfg.total_buffers > 0 && cfg.cells_per_buffer > 0);
+        if let DiscardPolicy::Epd { threshold } = policy {
+            assert!(
+                threshold > 0 && threshold <= cfg.total_buffers,
+                "EPD threshold {threshold} outside 1..={}",
+                cfg.total_buffers
+            );
+        }
         BufferPool {
             cfg,
+            policy,
             free: cfg.total_buffers,
             chains: HashMap::new(),
+            doomed: HashMap::new(),
             occupancy: OccupancyTracker::new(),
             alloc_failures: 0,
             cells_stored: 0,
+            epd_discards: 0,
+            ppd_discards: 0,
+            ppd_reclaimed: 0,
         }
     }
 
@@ -88,8 +155,50 @@ impl BufferPool {
         &self.cfg
     }
 
+    /// Discard policy in force.
+    pub fn policy(&self) -> DiscardPolicy {
+        self.policy
+    }
+
+    /// Admission check, to be called when a cell *arrives* (before any
+    /// engine work is spent on it). `starts_frame` marks the frame's
+    /// first cell. Under EPD a new frame is refused outright when
+    /// occupancy has crossed the threshold; cells of frames the policy
+    /// has already doomed are refused with the dooming reason. Each
+    /// refusal counts one cell against the responsible policy counter.
+    pub fn admit(&mut self, conn: ChainKey, starts_frame: bool) -> Result<(), PoolError> {
+        if let Some(&why) = self.doomed.get(&conn) {
+            match why {
+                PoolError::EarlyDiscard => self.epd_discards += 1,
+                PoolError::PartialDiscard => self.ppd_discards += 1,
+                PoolError::Exhausted => {}
+            }
+            return Err(why);
+        }
+        if starts_frame {
+            if let DiscardPolicy::Epd { threshold } = self.policy {
+                if self.in_use() >= threshold {
+                    self.doomed.insert(conn, PoolError::EarlyDiscard);
+                    self.epd_discards += 1;
+                    return Err(PoolError::EarlyDiscard);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Store one cell on chain `conn` at time `now`.
     pub fn append_cell(&mut self, now: Time, conn: ChainKey) -> Result<(), PoolError> {
+        if let Some(&why) = self.doomed.get(&conn) {
+            // A doomed frame's cell slipped past admission (e.g. it was
+            // already in the FIFO): refuse it here, same accounting.
+            match why {
+                PoolError::EarlyDiscard => self.epd_discards += 1,
+                PoolError::PartialDiscard => self.ppd_discards += 1,
+                PoolError::Exhausted => {}
+            }
+            return Err(why);
+        }
         let needs_buffer = match self.chains.get(&conn) {
             Some(chain) => chain.cells_in_tail == self.cfg.cells_per_buffer,
             None => true,
@@ -97,6 +206,17 @@ impl BufferPool {
         if needs_buffer {
             if self.free == 0 {
                 self.alloc_failures += 1;
+                if self.policy == DiscardPolicy::Ppd {
+                    // Don't store what can't validate: reclaim the
+                    // frame's buffers now and doom its tail. The
+                    // triggering cell counts against PPD too (it is
+                    // refused) as well as against alloc_failures (it
+                    // did find the pool empty).
+                    self.ppd_reclaimed += self.release_chain(now, conn) as u64;
+                    self.doomed.insert(conn, PoolError::PartialDiscard);
+                    self.ppd_discards += 1;
+                    return Err(PoolError::PartialDiscard);
+                }
                 return Err(PoolError::Exhausted);
             }
             self.free -= 1;
@@ -115,8 +235,11 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Release a whole chain (frame delivered or abandoned). Returns the number of buffers freed.
+    /// Release a whole chain (frame delivered or abandoned). Also clears
+    /// any policy doom on the key, so the key can be reused for a later
+    /// frame. Returns the number of buffers freed.
     pub fn release_chain(&mut self, now: Time, conn: ChainKey) -> usize {
+        self.doomed.remove(&conn);
         match self.chains.remove(&conn) {
             None => 0,
             Some(chain) => {
@@ -126,6 +249,19 @@ impl BufferPool {
                 chain.buffers
             }
         }
+    }
+
+    /// Chain keys currently holding buffers whose *first* buffer was
+    /// allocated — i.e. frames under reassembly. Sorted for determinism.
+    pub fn active_chains(&self) -> Vec<ChainKey> {
+        let mut keys: Vec<ChainKey> = self.chains.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Is this chain key currently doomed by a discard policy?
+    pub fn is_doomed(&self, conn: ChainKey) -> bool {
+        self.doomed.contains_key(&conn)
     }
 
     /// Buffers currently free.
@@ -163,6 +299,18 @@ impl BufferPool {
     /// Cells stored successfully.
     pub fn cells_stored(&self) -> u64 {
         self.cells_stored
+    }
+    /// Cells refused by Early Packet Discard.
+    pub fn epd_discards(&self) -> u64 {
+        self.epd_discards
+    }
+    /// Cells refused by Partial Packet Discard.
+    pub fn ppd_discards(&self) -> u64 {
+        self.ppd_discards
+    }
+    /// Buffers PPD reclaimed from frames it cut short.
+    pub fn ppd_reclaimed_buffers(&self) -> u64 {
+        self.ppd_reclaimed
     }
 }
 
@@ -256,5 +404,104 @@ mod tests {
     fn release_unknown_chain_is_zero() {
         let mut p = pool(4, 1);
         assert_eq!(p.release_chain(Time::ZERO, 9), 0);
+    }
+
+    #[test]
+    fn drop_tail_admits_everything() {
+        let mut p = pool(2, 1);
+        assert_eq!(p.policy(), DiscardPolicy::DropTail);
+        p.append_cell(Time::ZERO, 0).unwrap();
+        p.append_cell(Time::ZERO, 1).unwrap();
+        // Admission never refuses under drop-tail, even when full.
+        assert!(p.admit(2, true).is_ok());
+        assert_eq!(p.append_cell(Time::ZERO, 2), Err(PoolError::Exhausted));
+        // And the doomed set stays empty: siblings still try (and fail).
+        assert!(!p.is_doomed(2));
+        assert_eq!(p.append_cell(Time::ZERO, 2), Err(PoolError::Exhausted));
+        assert_eq!(p.alloc_failures(), 2);
+    }
+
+    #[test]
+    fn epd_refuses_new_frames_over_threshold() {
+        let mut p = BufferPool::with_policy(
+            PoolConfig {
+                total_buffers: 4,
+                cells_per_buffer: 1,
+            },
+            DiscardPolicy::Epd { threshold: 2 },
+        );
+        p.admit(0, true).unwrap();
+        p.append_cell(Time::ZERO, 0).unwrap();
+        p.admit(1, true).unwrap();
+        p.append_cell(Time::ZERO, 1).unwrap();
+        // Occupancy 2 ≥ threshold: frame 2 is refused at its first cell…
+        assert_eq!(p.admit(2, true), Err(PoolError::EarlyDiscard));
+        assert!(p.is_doomed(2));
+        // …and every later cell of it, whether mid-frame or not.
+        assert_eq!(p.admit(2, false), Err(PoolError::EarlyDiscard));
+        assert_eq!(p.epd_discards(), 2);
+        // Frames already admitted still get buffers (the whole point).
+        assert!(p.admit(0, false).is_ok());
+        p.append_cell(Time::ZERO, 0).unwrap();
+        // Release clears the doom so the key is reusable.
+        p.release_chain(Time::ZERO, 2);
+        assert!(!p.is_doomed(2));
+        p.release_chain(Time::ZERO, 0);
+        p.release_chain(Time::ZERO, 1);
+        assert!(p.admit(2, true).is_ok());
+    }
+
+    #[test]
+    fn ppd_reclaims_and_dooms_the_tail() {
+        let mut p = BufferPool::with_policy(
+            PoolConfig {
+                total_buffers: 3,
+                cells_per_buffer: 1,
+            },
+            DiscardPolicy::Ppd,
+        );
+        // Frame 0 takes two buffers, frame 1 one: pool full.
+        p.append_cell(Time::ZERO, 0).unwrap();
+        p.append_cell(Time::ZERO, 0).unwrap();
+        p.append_cell(Time::ZERO, 1).unwrap();
+        // Frame 0's next cell finds no buffer: PPD reclaims both of its
+        // buffers immediately and dooms the rest of the frame.
+        assert_eq!(
+            p.append_cell(Time::from_us(1), 0),
+            Err(PoolError::PartialDiscard)
+        );
+        assert_eq!(p.free_buffers(), 2, "frame 0's buffers reclaimed");
+        assert_eq!(p.ppd_reclaimed_buffers(), 2);
+        assert!(p.is_doomed(0));
+        assert_eq!(p.admit(0, false), Err(PoolError::PartialDiscard));
+        assert_eq!(
+            p.append_cell(Time::from_us(1), 0),
+            Err(PoolError::PartialDiscard)
+        );
+        assert_eq!(p.ppd_discards(), 3);
+        // The reclaimed space lets other frames proceed.
+        p.append_cell(Time::from_us(2), 2).unwrap();
+        p.append_cell(Time::from_us(2), 2).unwrap();
+    }
+
+    #[test]
+    fn active_chains_sorted_for_determinism() {
+        let mut p = pool(8, 1);
+        for k in [5u32, 1, 3] {
+            p.append_cell(Time::ZERO, k).unwrap();
+        }
+        assert_eq!(p.active_chains(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "EPD threshold")]
+    fn epd_threshold_must_fit_pool() {
+        BufferPool::with_policy(
+            PoolConfig {
+                total_buffers: 4,
+                cells_per_buffer: 1,
+            },
+            DiscardPolicy::Epd { threshold: 5 },
+        );
     }
 }

@@ -22,7 +22,7 @@
 //! fairness the real channel's central arbiter provided round-robin is
 //! approximated by the fine interleaving of cell-scale requests).
 
-use hni_sim::{Duration, Time};
+use hni_sim::{BusFaultPlan, Duration, Rng, Time};
 use hni_telemetry::{Activity, Component, Profiler};
 
 /// Bus timing and width parameters.
@@ -94,24 +94,45 @@ impl BusConfig {
 }
 
 /// The serial bus resource: hands out time grants FCFS.
+///
+/// Faults are opt-in via [`Bus::with_faults`]: a seeded
+/// [`BusFaultPlan`] can stall arbitration for extra cycles before a
+/// burst, or abort a burst so it runs twice (the bus stays busy for
+/// both attempts). A fault-free bus draws zero random values — the
+/// plain constructor and the empty plan are bit-identical in behaviour.
 #[derive(Debug)]
 pub struct Bus {
     cfg: BusConfig,
+    faults: BusFaultPlan,
+    rng: Rng,
     next_free: Time,
     busy: Duration,
     grants: u64,
     bytes_moved: u64,
+    stalls: u64,
+    retries: u64,
 }
 
 impl Bus {
-    /// A free bus with the given parameters.
+    /// A free, fault-free bus with the given parameters.
     pub fn new(cfg: BusConfig) -> Self {
+        Bus::with_faults(cfg, BusFaultPlan::NONE)
+    }
+
+    /// A bus whose grants suffer the given fault plan (seeded from the
+    /// plan itself, so the whole scenario is one value).
+    pub fn with_faults(cfg: BusConfig, faults: BusFaultPlan) -> Self {
+        faults.validate();
         Bus {
             cfg,
+            faults,
+            rng: Rng::new(faults.seed),
             next_free: Time::ZERO,
             busy: Duration::ZERO,
             grants: 0,
             bytes_moved: 0,
+            stalls: 0,
+            retries: 0,
         }
     }
 
@@ -120,16 +141,48 @@ impl Bus {
         &self.cfg
     }
 
-    /// Request the bus at `now` for a burst of `words` data words
-    /// carrying `bytes` payload bytes. Returns when the burst completes.
-    pub fn grant(&mut self, now: Time, words: u32, bytes: usize) -> Time {
-        let start = now.max(self.next_free);
-        let t = self.cfg.burst_time(words);
-        self.next_free = start + t;
-        self.busy += t;
+    /// The fault plan in force (the empty plan for [`Bus::new`]).
+    pub fn faults(&self) -> &BusFaultPlan {
+        &self.faults
+    }
+
+    /// Draw this grant's faults: extra stall time before the burst and
+    /// whether the burst aborts and retries. Free when the plan is
+    /// empty.
+    fn draw_faults(&mut self) -> (Duration, bool) {
+        if self.faults.is_none() {
+            return (Duration::ZERO, false);
+        }
+        let stall = if self.rng.chance(self.faults.stall_probability) {
+            self.stalls += 1;
+            self.cfg.cycle().times(self.faults.stall_cycles as u64)
+        } else {
+            Duration::ZERO
+        };
+        let retry = self.rng.chance(self.faults.retry_probability);
+        if retry {
+            self.retries += 1;
+        }
+        (stall, retry)
+    }
+
+    fn commit(&mut self, start: Time, held: Duration, bytes: usize) -> Time {
+        self.next_free = start + held;
+        self.busy += held;
         self.grants += 1;
         self.bytes_moved += bytes as u64;
         self.next_free
+    }
+
+    /// Request the bus at `now` for a burst of `words` data words
+    /// carrying `bytes` payload bytes. Returns when the burst completes
+    /// (including any injected stall or retry).
+    pub fn grant(&mut self, now: Time, words: u32, bytes: usize) -> Time {
+        let start = now.max(self.next_free);
+        let (stall, retry) = self.draw_faults();
+        let burst = self.cfg.burst_time(words);
+        let held = stall + burst + if retry { burst } else { Duration::ZERO };
+        self.commit(start, held, bytes)
     }
 
     /// [`Bus::grant`] with cycle accounting: the burst's setup and
@@ -146,22 +199,34 @@ impl Bus {
         component: Component,
         profiler: &mut dyn Profiler,
     ) -> Time {
-        if profiler.enabled() {
-            let start = now.max(self.next_free);
-            let cycle = self.cfg.cycle();
-            let setup = cycle.times(self.cfg.burst_setup_cycles as u64);
-            let data = cycle.times(words as u64);
-            let turnaround = cycle.times(self.cfg.turnaround_cycles as u64);
-            profiler.charge(component, Activity::Arbitration, start, setup);
-            profiler.charge(component, Activity::Transfer, start + setup, data);
+        if !profiler.enabled() {
+            return self.grant(now, words, bytes);
+        }
+        let start = now.max(self.next_free);
+        let (stall, retry) = self.draw_faults();
+        let cycle = self.cfg.cycle();
+        let setup = cycle.times(self.cfg.burst_setup_cycles as u64);
+        let data = cycle.times(words as u64);
+        let turnaround = cycle.times(self.cfg.turnaround_cycles as u64);
+        let mut cursor = start;
+        if stall > Duration::ZERO {
+            // An injected stall is arbitration the burst lost.
+            profiler.charge(component, Activity::Arbitration, cursor, stall);
+            cursor += stall;
+        }
+        for _ in 0..if retry { 2 } else { 1 } {
+            profiler.charge(component, Activity::Arbitration, cursor, setup);
+            profiler.charge(component, Activity::Transfer, cursor + setup, data);
             profiler.charge(
                 component,
                 Activity::Arbitration,
-                start + setup + data,
+                cursor + setup + data,
                 turnaround,
             );
+            cursor += setup + data + turnaround;
         }
-        self.grant(now, words, bytes)
+        let held = cursor.saturating_since(start);
+        self.commit(start, held, bytes)
     }
 
     /// Earliest instant a new request could start.
@@ -179,6 +244,19 @@ impl Bus {
     /// Payload bytes moved.
     pub fn bytes_moved(&self) -> u64 {
         self.bytes_moved
+    }
+    /// Grants that suffered an injected arbitration stall.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+    /// Grants whose burst aborted and ran twice.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+    /// Random values the fault plan has consumed — zero for a
+    /// fault-free bus, always.
+    pub fn fault_rng_draws(&self) -> u64 {
+        self.rng.draws()
     }
     /// Utilization over `[0, end]`.
     pub fn utilization(&self, end: Time) -> f64 {
@@ -309,6 +387,112 @@ mod tests {
         let s = p.series(Component::RxBus);
         assert_eq!(s.busy(0), Duration::from_ns(600));
         assert_eq!(s.busy(1), Duration::from_ns(600));
+    }
+
+    #[test]
+    fn fault_free_bus_draws_no_randomness() {
+        let mut bus = Bus::new(BusConfig::default());
+        for _ in 0..1000 {
+            bus.grant(Time::ZERO, 8, 32);
+        }
+        assert_eq!(bus.fault_rng_draws(), 0);
+        assert_eq!(bus.stalls() + bus.retries(), 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_bus() {
+        let mut plain = Bus::new(BusConfig::default());
+        let mut faulty = Bus::with_faults(BusConfig::default(), BusFaultPlan::NONE);
+        for i in 0..100u64 {
+            let a = plain.grant(Time::from_ns(i * 50), 8, 32);
+            let b = faulty.grant(Time::from_ns(i * 50), 8, 32);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.busy_time(), faulty.busy_time());
+    }
+
+    #[test]
+    fn stalls_add_exactly_their_cycles() {
+        let plan = BusFaultPlan {
+            stall_probability: 1.0,
+            stall_cycles: 10,
+            retry_probability: 0.0,
+            seed: 5,
+        };
+        let mut bus = Bus::with_faults(BusConfig::default(), plan);
+        // 15 burst cycles + 10 stall cycles = 25 × 40 ns.
+        let end = bus.grant(Time::ZERO, 8, 32);
+        assert_eq!(end, Time::from_ns(1000));
+        assert_eq!(bus.stalls(), 1);
+    }
+
+    #[test]
+    fn retries_double_the_burst() {
+        let plan = BusFaultPlan {
+            stall_probability: 0.0,
+            stall_cycles: 0,
+            retry_probability: 1.0,
+            seed: 5,
+        };
+        let mut bus = Bus::with_faults(BusConfig::default(), plan);
+        let end = bus.grant(Time::ZERO, 8, 32);
+        assert_eq!(end, Time::from_ns(1200), "burst runs twice");
+        assert_eq!(bus.retries(), 1);
+        assert_eq!(bus.busy_time(), Duration::from_ns(1200));
+    }
+
+    #[test]
+    fn faulty_grants_deterministic_and_profiled_matches_plain() {
+        use hni_telemetry::CycleProfiler;
+        let plan = BusFaultPlan {
+            stall_probability: 0.3,
+            stall_cycles: 6,
+            retry_probability: 0.2,
+            seed: 42,
+        };
+        let run = |profiled: bool| {
+            let mut bus = Bus::with_faults(BusConfig::default(), plan);
+            let mut prof = CycleProfiler::new();
+            (0..200u64)
+                .map(|i| {
+                    if profiled {
+                        bus.grant_profiled(
+                            Time::from_ns(i * 2000),
+                            8,
+                            32,
+                            Component::RxBus,
+                            &mut prof,
+                        )
+                    } else {
+                        bus.grant(Time::from_ns(i * 2000), 8, 32)
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(false), "not deterministic");
+        // The profiled path draws the same faults in the same order.
+        assert_eq!(run(false), run(true), "profiling perturbed the faults");
+    }
+
+    #[test]
+    fn profiled_fault_charges_cover_the_whole_grant() {
+        use hni_telemetry::CycleProfiler;
+        let plan = BusFaultPlan {
+            stall_probability: 1.0,
+            stall_cycles: 10,
+            retry_probability: 1.0,
+            seed: 9,
+        };
+        let mut bus = Bus::with_faults(BusConfig::default(), plan);
+        let mut prof = CycleProfiler::new();
+        let end = bus.grant_profiled(Time::ZERO, 8, 32, Component::RxBus, &mut prof);
+        let p = prof.snapshot(end);
+        assert_eq!(p.active_time(Component::RxBus), bus.busy_time());
+        // Two data phases of 8 cycles each.
+        assert_eq!(
+            p.total(Component::RxBus, Activity::Transfer),
+            Duration::from_ns(2 * 320)
+        );
     }
 
     #[test]

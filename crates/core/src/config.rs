@@ -1,12 +1,12 @@
 //! The single configuration type the whole interface hangs off.
 
-use crate::bufpool::PoolConfig;
+use crate::bufpool::{DiscardPolicy, PoolConfig};
 use crate::bus::BusConfig;
 use crate::engine::HwPartition;
 use crate::rxsim::RxConfig;
 use crate::txsim::TxConfig;
 use hni_aal::AalType;
-use hni_sim::Duration;
+use hni_sim::{BusFaultPlan, Duration};
 use hni_sonet::LineRate;
 
 /// Full host-interface configuration: one struct feeds the timing
@@ -102,6 +102,9 @@ impl NicConfig {
             fifo_cells: self.rx_fifo_cells,
             pool: self.pool,
             aal: self.aal,
+            policy: DiscardPolicy::DropTail,
+            reassembly_timeout: self.reassembly_timeout,
+            bus_faults: BusFaultPlan::NONE,
         }
     }
 }

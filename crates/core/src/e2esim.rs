@@ -13,10 +13,12 @@
 //! frame boundaries (cells ride a continuous slot stream; framing
 //! overhead is already accounted in the slot rate).
 
-use crate::rxsim::{run_rx_full, CellArrival, RxConfig, RxPktMeta, RxWorkload};
+use crate::rxsim::{
+    run_rx_faulted_full, run_rx_full, CellArrival, LinkFaults, RxConfig, RxPktMeta, RxWorkload,
+};
 use crate::txsim::{run_tx_full, TxConfig, TxPacket};
 use hni_aal::AalType;
-use hni_sim::{Duration, Summary, Time};
+use hni_sim::{Duration, FaultPlan, Summary, Time};
 use hni_telemetry::{NullProfiler, NullTracer, Profiler, Tracer};
 use std::collections::HashMap;
 
@@ -97,6 +99,81 @@ pub fn run_e2e_profiled(
     )
 }
 
+/// [`run_e2e`] with a seeded [`FaultPlan`] standing between the two
+/// adaptors: the transmit pipeline's actual departures pass through the
+/// fault process (loss, corruption, duplication, reordering) before
+/// becoming the receive pipeline's arrivals. Returns what the link did
+/// alongside the report so callers can reconcile the cell ledger across
+/// the whole path. `FaultPlan::NONE` reproduces [`run_e2e`] exactly —
+/// byte-identical reports, zero RNG draws.
+pub fn run_e2e_faulted(
+    tx_cfg: &TxConfig,
+    rx_cfg: &RxConfig,
+    packets: &[TxPacket],
+    propagation: Duration,
+    plan: &FaultPlan,
+    seed: u64,
+) -> (E2eReport, LinkFaults) {
+    run_e2e_faulted_full(
+        tx_cfg,
+        rx_cfg,
+        packets,
+        propagation,
+        plan,
+        seed,
+        &mut NullTracer,
+        &mut NullProfiler,
+    )
+}
+
+/// [`run_e2e_faulted`] with a tracer attached, so the metrics registry
+/// built from the trace can be reconciled against the cell ledger.
+pub fn run_e2e_faulted_instrumented(
+    tx_cfg: &TxConfig,
+    rx_cfg: &RxConfig,
+    packets: &[TxPacket],
+    propagation: Duration,
+    plan: &FaultPlan,
+    seed: u64,
+    tracer: &mut dyn Tracer,
+) -> (E2eReport, LinkFaults) {
+    run_e2e_faulted_full(
+        tx_cfg,
+        rx_cfg,
+        packets,
+        propagation,
+        plan,
+        seed,
+        tracer,
+        &mut NullProfiler,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_e2e_faulted_full(
+    tx_cfg: &TxConfig,
+    rx_cfg: &RxConfig,
+    packets: &[TxPacket],
+    propagation: Duration,
+    plan: &FaultPlan,
+    seed: u64,
+    tracer: &mut dyn Tracer,
+    profiler: &mut dyn Profiler,
+) -> (E2eReport, LinkFaults) {
+    assert_eq!(
+        tx_cfg.aal, rx_cfg.aal,
+        "both ends must speak the same adaptation layer"
+    );
+    let (tx_report, departures) = run_tx_full(tx_cfg, packets, tracer, profiler);
+    let wl = rx_workload_from_departures(tx_cfg.aal, packets, &departures, propagation);
+    let (rx_report, completions, lf) =
+        run_rx_faulted_full(rx_cfg, &wl, plan, seed, tracer, profiler);
+    (
+        assemble_report(packets, tx_report, rx_report, &completions),
+        lf,
+    )
+}
+
 /// The full-instrumentation entry: tracer and profiler together.
 pub(crate) fn run_e2e_full(
     tx_cfg: &TxConfig,
@@ -111,9 +188,20 @@ pub(crate) fn run_e2e_full(
         "both ends must speak the same adaptation layer"
     );
     let (tx_report, departures) = run_tx_full(tx_cfg, packets, tracer, profiler);
+    let wl = rx_workload_from_departures(tx_cfg.aal, packets, &departures, propagation);
+    let (rx_report, completions) = run_rx_full(rx_cfg, &wl, tracer, profiler);
+    assemble_report(packets, tx_report, rx_report, &completions)
+}
 
-    // Packet table: connection indices assigned per VC, cell counts from
-    // the AAL arithmetic.
+/// Turn the transmit side's cell departures into the receive side's
+/// arrival schedule: connection indices assigned per VC, cell counts
+/// from the AAL arithmetic, arrival clocks shifted by `propagation`.
+fn rx_workload_from_departures(
+    aal: AalType,
+    packets: &[TxPacket],
+    departures: &[crate::txsim::CellDeparture],
+    propagation: Duration,
+) -> RxWorkload {
     let mut conn_of = HashMap::new();
     let pkts: Vec<RxPktMeta> = packets
         .iter()
@@ -123,22 +211,30 @@ pub(crate) fn run_e2e_full(
             RxPktMeta {
                 conn,
                 len: p.len,
-                cells: aal_cells(tx_cfg.aal, p.len),
+                cells: aal_cells(aal, p.len),
             }
         })
         .collect();
-
     let arrivals: Vec<CellArrival> = departures
         .iter()
         .map(|d| CellArrival {
             at: d.at + propagation,
             pkt: d.pkt,
             is_last: d.is_last,
+            corrupted: false,
         })
         .collect();
-    let wl = RxWorkload { arrivals, pkts };
-    let (rx_report, completions) = run_rx_full(rx_cfg, &wl, tracer, profiler);
+    RxWorkload { arrivals, pkts }
+}
 
+/// Fold the two half-pipeline reports and the per-packet completion
+/// clocks into the end-to-end measurement.
+fn assemble_report(
+    packets: &[TxPacket],
+    tx_report: crate::txsim::TxReport,
+    rx_report: crate::rxsim::RxReport,
+    completions: &[Option<Time>],
+) -> E2eReport {
     let mut latency = Summary::new();
     let mut delivered_octets = 0u64;
     for (i, done) in completions.iter().enumerate() {
@@ -281,6 +377,39 @@ mod tests {
         );
         // And the max is near the whole transfer duration.
         assert!(loaded.latency_us.max() > 10.0 * unloaded.latency_us.mean());
+    }
+
+    #[test]
+    fn faultless_plan_reproduces_clean_e2e_exactly() {
+        let (txc, rxc) = paper_pair();
+        let pkts = greedy_workload(12, 9180, VcId::new(0, 32));
+        let clean = run_e2e(&txc, &rxc, &pkts, Duration::from_us(5));
+        let (faulted, lf) =
+            run_e2e_faulted(&txc, &rxc, &pkts, Duration::from_us(5), &FaultPlan::NONE, 1);
+        assert_eq!(lf.rng_draws, 0, "faultless path must not touch the RNG");
+        assert_eq!(format!("{clean:?}"), format!("{faulted:?}"));
+    }
+
+    #[test]
+    fn faulted_e2e_loses_frames_and_reconciles() {
+        let (txc, rxc) = paper_pair();
+        let pkts = greedy_workload(40, 9180, VcId::new(0, 32));
+        let (r, lf) = run_e2e_faulted(
+            &txc,
+            &rxc,
+            &pkts,
+            Duration::from_us(5),
+            &FaultPlan::loss(0.01),
+            7,
+        );
+        assert!(lf.dropped > 0, "1% loss over 40 jumbo frames should hit");
+        assert!(r.delivered < r.offered);
+        assert_eq!(r.delivered + r.rx.failed_packets, r.offered);
+        assert!(
+            r.rx.ledger.reconciles(),
+            "cell ledger must balance: {:?}",
+            r.rx.ledger
+        );
     }
 
     #[test]

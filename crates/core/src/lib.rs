@@ -31,13 +31,18 @@ pub mod nic;
 pub mod rxsim;
 pub mod txsim;
 
-pub use bufpool::{BufferPool, PoolConfig, PoolError};
+pub use bufpool::{BufferPool, DiscardPolicy, PoolConfig, PoolError};
 pub use bus::{Bus, BusConfig};
 pub use cam::{Cam, CamResult};
 pub use config::NicConfig;
 pub use driver::{DriverConfig, DriverError, HostDriver, RxPacket};
-pub use e2esim::{run_e2e, run_e2e_instrumented, E2eReport};
+pub use e2esim::{
+    run_e2e, run_e2e_faulted, run_e2e_faulted_instrumented, run_e2e_instrumented, E2eReport,
+};
 pub use engine::{HwPartition, ProtocolEngine, TaskCosts, TaskKind};
 pub use nic::{Nic, NicEvent};
-pub use rxsim::{run_rx, RxConfig, RxReport, RxWorkload};
+pub use rxsim::{
+    apply_faults, run_rx, run_rx_faulted, run_rx_faulted_instrumented, CellLedger, LinkFaults,
+    RxConfig, RxReport, RxWorkload,
+};
 pub use txsim::{greedy_workload, run_tx, TxConfig, TxPacket, TxReport};

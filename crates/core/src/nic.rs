@@ -49,8 +49,9 @@ use crate::config::NicConfig;
 use hni_aal::aal34::{Aal34Reassembler, Aal34Segmenter};
 use hni_aal::aal5::{self, Aal5Reassembler};
 use hni_aal::{AalType, ReassemblyFailure};
-use hni_atm::{Cell, VcId};
-use hni_sim::Time;
+use hni_atm::{Cell, VcId, CELL_SIZE};
+use hni_sim::link::apply_bit_errors;
+use hni_sim::{FaultInjector, Time, UnitFate};
 use hni_sonet::{TcReceiver, TcTransmitter};
 use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer};
 use std::collections::VecDeque;
@@ -119,6 +120,8 @@ pub struct Nic {
     reasm5: Aal5Reassembler,
     reasm34: Aal34Reassembler,
     events: VecDeque<NicEvent>,
+    // Last time the receive path ran the reassembly-expiry scan.
+    last_expiry_scan: Time,
     // Counters.
     sdus_sent: u64,
     cells_sent: u64,
@@ -138,6 +141,7 @@ impl Nic {
             reasm5: Aal5Reassembler::new(cfg.max_sdu, cfg.reassembly_timeout),
             reasm34: Aal34Reassembler::new(cfg.max_sdu, cfg.reassembly_timeout),
             events: VecDeque::new(),
+            last_expiry_scan: Time::ZERO,
             sdus_sent: 0,
             cells_sent: 0,
             sdus_received: 0,
@@ -251,6 +255,31 @@ impl Nic {
         self.cells_sent += 1;
     }
 
+    /// [`Nic::inject_cell`] through a [`FaultInjector`]: the injector
+    /// decides the cell's fate (loss, payload damage, duplication) and
+    /// the survivors — damaged in place when the plan says so — enter
+    /// the transmit convergence queue. Returns the fate so callers can
+    /// reconcile what they offered against what went on the wire.
+    /// Reordering displacement is ignored at this granularity (the TC
+    /// queue is strictly FIFO); use the timing simulations to study it.
+    pub fn inject_cell_faulted(&mut self, cell: &Cell, inj: &mut FaultInjector) -> UnitFate {
+        let fate = inj.fate((CELL_SIZE * 8) as u64);
+        if fate.lost {
+            return fate;
+        }
+        if fate.flipped_bits.is_empty() {
+            self.inject_cell(cell);
+        } else {
+            let mut bytes = *cell.as_bytes();
+            apply_bit_errors(&mut bytes, &fate.flipped_bits);
+            self.inject_cell(&Cell::from_bytes(bytes));
+        }
+        if fate.duplicated {
+            self.inject_cell(cell);
+        }
+        fate
+    }
+
     /// Cells waiting for payload slots on the transmit side.
     pub fn tx_backlog_cells(&self) -> usize {
         self.tc_tx.backlog_cells()
@@ -329,16 +358,34 @@ impl Nic {
                 }
             }
         }
+        self.maybe_expire(now);
     }
 
     /// Enforce the reassembly timeout; call periodically with the clock.
+    /// Purges **both** reassemblers — a partial AAL3/4 frame must not
+    /// sit forever just because the interface is configured for AAL5
+    /// (and vice versa); idle per-VC state is a leak either way.
     pub fn expire(&mut self, now: Time) {
-        let failures = match self.cfg.aal {
-            AalType::Aal5 => self.reasm5.expire(now),
-            AalType::Aal34 => self.reasm34.expire(now),
-        };
-        for f in failures {
+        for f in self.reasm5.expire(now) {
             self.events.push_back(NicEvent::ReceiveError(f));
+        }
+        for f in self.reasm34.expire(now) {
+            self.events.push_back(NicEvent::ReceiveError(f));
+        }
+    }
+
+    /// Run [`Nic::expire`] if at least half the reassembly timeout has
+    /// passed since the last scan. The receive path calls this on every
+    /// line delivery, so stalled chains surface as timeout errors
+    /// without the host having to drive a separate clock; the
+    /// half-timeout cadence keeps the scan off the per-cell fast path.
+    fn maybe_expire(&mut self, now: Time) {
+        let timeout = self.cfg.reassembly_timeout;
+        if timeout > hni_sim::Duration::ZERO
+            && now.saturating_since(self.last_expiry_scan).as_ps() >= timeout.as_ps() / 2
+        {
+            self.last_expiry_scan = now;
+            self.expire(now);
         }
     }
 
@@ -517,6 +564,84 @@ mod tests {
             }
         }
         assert!(saw_timeout);
+    }
+
+    #[test]
+    fn aal34_idle_chain_expires_without_explicit_clock() {
+        let (mut a, mut b, vc) = pair(AalType::Aal34);
+        a.open_vc(vc).unwrap();
+        b.open_vc(vc).unwrap();
+        pump(&mut a, &mut b, 12);
+        // A large MID-tagged SDU: deliver only its first frame's worth
+        // of cells, then lose the rest on the "line" — a stalled chain
+        // that used to sit in the reassembler forever unless the host
+        // remembered to call expire() itself.
+        a.send_with_mid(vc, 4, vec![9; 40_000], Time::ZERO).unwrap();
+        let f = a.frame_tick();
+        b.receive_line_octets(&f, Time::ZERO);
+        while a.tx_backlog_cells() > 0 {
+            let _lost = a.frame_tick();
+        }
+        // No explicit expire(): the receive path's own timer must
+        // surface the timeout as idle line frames keep arriving.
+        let mut saw_timeout = false;
+        for ms in 1..=4u64 {
+            let f = a.frame_tick();
+            b.receive_line_octets(&f, Time::from_ms(6 * ms));
+            while let Some(e) = b.poll() {
+                if let NicEvent::ReceiveError(f) = e {
+                    assert_eq!(f.error, hni_aal::ReassemblyError::Timeout);
+                    saw_timeout = true;
+                }
+            }
+        }
+        assert!(
+            saw_timeout,
+            "idle AAL3/4 chain must expire via the rx-path timer"
+        );
+    }
+
+    #[test]
+    fn faulted_injection_accounts_for_every_cell() {
+        let (mut a, mut b, vc) = pair(AalType::Aal5);
+        a.open_vc(vc).unwrap();
+        b.open_vc(vc).unwrap();
+        pump(&mut a, &mut b, 12);
+        let mut inj = hni_sim::FaultInjector::seeded(
+            hni_sim::FaultPlan::iid(0.05, 1e-5).with_duplication(0.02),
+            11,
+        );
+        let n_frames = 40u64;
+        let (mut offered, mut lost, mut dup) = (0u64, 0u64, 0u64);
+        for i in 0..n_frames as usize {
+            let payload: Vec<u8> = (0..2048).map(|j| ((i + j) % 256) as u8).collect();
+            for cell in hni_aal::aal5::segment(vc, &payload, 0) {
+                offered += 1;
+                let fate = a.inject_cell_faulted(&cell, &mut inj);
+                if fate.lost {
+                    lost += 1;
+                } else if fate.duplicated {
+                    dup += 1;
+                }
+            }
+        }
+        assert!(lost > 0, "5% loss over {offered} cells should hit");
+        // Every offered cell is either dropped before the queue or
+        // queued (twice, if duplicated) — nothing vanishes unaccounted.
+        assert_eq!(a.cells_sent(), offered - lost + dup);
+        let (mut ok, mut failed) = (0u64, 0u64);
+        let mut evs = pump(&mut a, &mut b, 200);
+        evs.extend(pump(&mut a, &mut b, 4));
+        for e in &evs {
+            match e {
+                NicEvent::PacketReceived { .. } => ok += 1,
+                NicEvent::ReceiveError(_) => failed += 1,
+                _ => {}
+            }
+        }
+        assert!(ok > 0, "some frames must survive 5% loss");
+        assert!(failed > 0, "some frames must die to loss/corruption");
+        assert!(ok + failed <= n_frames + lost + dup);
     }
 
     #[test]

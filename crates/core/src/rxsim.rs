@@ -13,24 +13,36 @@
 //! Receive is the harder direction — the paper-era consensus this
 //! architecture embodies — because the interface does not choose when
 //! cells arrive: at full OC-12 payload rate a cell lands every 708 ns,
-//! of *any* connection, in *any* interleaving. Three distinct loss
-//! mechanisms exist and are separately counted:
+//! of *any* connection, in *any* interleaving. Loss mechanisms are
+//! separately counted and every cell the link injects reconciles to
+//! exactly one disposition in the run's [`CellLedger`]:
 //!
+//! * **link faults** — a [`FaultPlan`] perturbing the arrival schedule
+//!   (loss, corruption, duplication, bounded reordering);
 //! * **input FIFO overrun** — the engine's per-cell work exceeds the
 //!   cell slot; arrivals outrun processing and the FIFO tops out;
 //! * **buffer-pool exhaustion** — too many partially reassembled frames
-//!   in flight for the adaptor SRAM;
-//! * (in the functional path, not here) HEC/CRC damage.
+//!   in flight for the adaptor SRAM (with drop-tail, EPD or PPD policy
+//!   deciding *which* cells pay — see [`DiscardPolicy`]);
+//! * **validation failure** — corrupt payload or wrong cell count at
+//!   end of frame (the CRC-32 catch-all);
+//! * **reassembly expiry** — a chain stalled longer than the timeout is
+//!   purged so a lost end-of-frame cell cannot pin buffers forever.
 //!
 //! Cells are engine work at **higher priority** than packet-level
 //! validation/DMA/completion, exactly as a real design must prioritise —
 //! a cell not consumed is lost, while a completion can wait.
+//!
+//! The expiry timer is modelled as background bookkeeping: purges free
+//! buffers at the simulated instant they happen but consume no engine
+//! time and never extend the measured span (`run_end`), so a faultless
+//! run's report is byte-identical with the timer armed or not.
 
-use crate::bufpool::{BufferPool, PoolConfig};
+use crate::bufpool::{BufferPool, DiscardPolicy, PoolConfig, PoolError};
 use crate::bus::{Bus, BusConfig};
 use crate::engine::{HwPartition, ProtocolEngine, TaskKind};
 use hni_aal::AalType;
-use hni_sim::{Duration, EventQueue, Summary, Time};
+use hni_sim::{BusFaultPlan, Duration, EventQueue, FaultInjector, FaultPlan, Summary, Time};
 use hni_sonet::LineRate;
 use hni_telemetry::{
     Activity, Component, NullProfiler, NullTracer, Profiler, Stage, TraceEvent, Tracer,
@@ -54,6 +66,13 @@ pub struct RxConfig {
     pub pool: PoolConfig,
     /// Adaptation layer (cells-per-packet arithmetic).
     pub aal: AalType,
+    /// Buffer discard policy under pool pressure.
+    pub policy: DiscardPolicy,
+    /// Purge reassembly chains idle this long ([`Duration::ZERO`]
+    /// disables the timer).
+    pub reassembly_timeout: Duration,
+    /// Fault plan for the host bus (stalls / aborted bursts).
+    pub bus_faults: BusFaultPlan,
 }
 
 impl RxConfig {
@@ -70,6 +89,9 @@ impl RxConfig {
                 cells_per_buffer: 32,
             },
             aal: AalType::Aal5,
+            policy: DiscardPolicy::DropTail,
+            reassembly_timeout: Duration::from_ms(10),
+            bus_faults: BusFaultPlan::NONE,
         }
     }
 }
@@ -84,6 +106,8 @@ pub struct CellArrival {
     pub pkt: usize,
     /// Whether it is the packet's final cell.
     pub is_last: bool,
+    /// Whether the link damaged its payload (fails end-of-frame CRC).
+    pub corrupted: bool,
 }
 
 /// A packet in a receive workload.
@@ -159,6 +183,7 @@ impl RxWorkload {
                 at: t,
                 pkt: p,
                 is_last,
+                corrupted: false,
             });
             streams[v] = if is_last { (p + 1, 0) } else { (p, c + 1) };
             v = (v + 1) % n_vcs;
@@ -168,10 +193,146 @@ impl RxWorkload {
     }
 }
 
+/// Per-cell conservation ledger: every cell the link injected ends in
+/// exactly one bucket, so `reconciles()` is the chaos-test invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellLedger {
+    /// Cells injected at the far end (arrivals + link losses).
+    pub injected: u64,
+    /// Cells the link itself dropped (never reached the interface).
+    pub dropped_link: u64,
+    /// Cells lost to input-FIFO overrun.
+    pub dropped_fifo: u64,
+    /// Cells lost to buffer-pool exhaustion (drop-tail).
+    pub dropped_pool: u64,
+    /// Cells refused by Early Packet Discard.
+    pub discarded_epd: u64,
+    /// Cells cut (refused or reclaimed) by Partial Packet Discard.
+    pub discarded_ppd: u64,
+    /// Straggler cells for frames already resolved.
+    pub discarded_stale: u64,
+    /// Cells of frames that failed end-of-frame validation.
+    pub discarded_crc: u64,
+    /// Cells of chains purged by the reassembly-expiry timer.
+    pub discarded_expired: u64,
+    /// Cells of doomed frames abandoned at end of frame (or when the
+    /// run drained with the expiry timer disabled).
+    pub discarded_abandoned: u64,
+    /// Cells that reached host memory inside a delivered frame.
+    pub delivered_cells: u64,
+}
+
+impl CellLedger {
+    /// Sum of every disposition bucket.
+    pub fn accounted(&self) -> u64 {
+        self.dropped_link
+            + self.dropped_fifo
+            + self.dropped_pool
+            + self.discarded_epd
+            + self.discarded_ppd
+            + self.discarded_stale
+            + self.discarded_crc
+            + self.discarded_expired
+            + self.discarded_abandoned
+            + self.delivered_cells
+    }
+
+    /// The conservation invariant: no cell unaccounted, none counted
+    /// twice.
+    pub fn reconciles(&self) -> bool {
+        self.accounted() == self.injected
+    }
+}
+
+/// What the link did to a workload when a [`FaultPlan`] was applied.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Cells the original workload offered.
+    pub offered: u64,
+    /// Cells the link dropped.
+    pub dropped: u64,
+    /// Cells whose payload the link damaged.
+    pub corrupted: u64,
+    /// Extra copies the link injected.
+    pub duplicated: u64,
+    /// Cells displaced to a later slot.
+    pub reordered: u64,
+    /// Random draws the injector consumed (0 for [`FaultPlan::NONE`]).
+    pub rng_draws: u64,
+}
+
+/// Run a workload's cells through a seeded [`FaultPlan`], producing the
+/// perturbed workload the interface actually sees plus what happened on
+/// the wire. Deterministic per seed; the empty plan draws no randomness
+/// and returns the workload unchanged.
+///
+/// Semantics at the cell-schedule level: a lost cell's arrival vanishes;
+/// a corrupted cell arrives flagged (it fails end-of-frame validation);
+/// a duplicated cell arrives again one slot later (never as `is_last` —
+/// the copy inflates the frame's cell count, which validation catches);
+/// a reordered cell is displaced `displaced` slots later. Displacement
+/// is detected only when it crosses the frame boundary — within a frame
+/// the reassembly chain absorbs it.
+pub fn apply_faults(
+    wl: &RxWorkload,
+    plan: &FaultPlan,
+    slot: Duration,
+    seed: u64,
+) -> (RxWorkload, LinkFaults) {
+    let mut inj = FaultInjector::seeded(*plan, seed);
+    let mut lf = LinkFaults {
+        offered: wl.arrivals.len() as u64,
+        ..LinkFaults::default()
+    };
+    let mut arrivals = Vec::with_capacity(wl.arrivals.len());
+    for a in &wl.arrivals {
+        // An ATM cell is 53 octets on the wire.
+        let fate = inj.fate(53 * 8);
+        if fate.lost {
+            lf.dropped += 1;
+            continue;
+        }
+        let corrupted = a.corrupted || !fate.flipped_bits.is_empty();
+        if corrupted && !a.corrupted {
+            lf.corrupted += 1;
+        }
+        let at = a.at + slot * fate.displaced as u64;
+        if fate.displaced > 0 {
+            lf.reordered += 1;
+        }
+        arrivals.push(CellArrival {
+            at,
+            pkt: a.pkt,
+            is_last: a.is_last,
+            corrupted,
+        });
+        if fate.duplicated {
+            lf.duplicated += 1;
+            arrivals.push(CellArrival {
+                at: at + slot,
+                pkt: a.pkt,
+                is_last: false,
+                corrupted: a.corrupted,
+            });
+        }
+    }
+    // Restore time order after displacement (stable sort keeps the
+    // FIFO tie-break deterministic).
+    arrivals.sort_by_key(|a| a.at);
+    lf.rng_draws = inj.rng_draws();
+    (
+        RxWorkload {
+            arrivals,
+            pkts: wl.pkts.clone(),
+        },
+        lf,
+    )
+}
+
 /// Results of a receive simulation run.
 #[derive(Clone, Debug)]
 pub struct RxReport {
-    /// Cells offered by the workload.
+    /// Cells offered to the interface by the (post-fault) workload.
     pub cells_offered: u64,
     /// Cells lost to input-FIFO overrun.
     pub dropped_fifo: u64,
@@ -181,7 +342,8 @@ pub struct RxReport {
     pub delivered_packets: u64,
     /// SDU octets delivered.
     pub delivered_octets: u64,
-    /// Packets that lost at least one cell.
+    /// Packets that started but failed (cell loss, discard policy,
+    /// validation failure or expiry).
     pub failed_packets: u64,
     /// Goodput in bits/second over the run.
     pub goodput_bps: f64,
@@ -200,10 +362,13 @@ pub struct RxReport {
     /// When the last packet completed ([`Time::ZERO`] if none did).
     pub finished_at: Time,
     /// End of all simulated activity: the later of `finished_at` and
-    /// the final event processed. Unlike `finished_at` this is nonzero
+    /// the final productive event processed (expiry-timer ticks are
+    /// bookkeeping and excluded). Unlike `finished_at` this is nonzero
     /// even when overload dooms every packet, so it is the right span
     /// for utilization math and profile snapshots.
     pub run_end: Time,
+    /// Where every injected cell went.
+    pub ledger: CellLedger,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -223,12 +388,26 @@ enum REv {
     CellArrive(usize),
     EngineDone(RTask),
     BusDone(usize),
+    /// Reassembly-expiry timer scan (background bookkeeping).
+    ExpiryTick,
 }
 
 struct PktState {
     cells_seen: usize,
+    /// Cells currently stored in the frame's reassembly chain.
+    retained: usize,
     first_arrival: Option<Time>,
+    /// Last cell arrival for this frame (expiry clock).
+    last_activity: Time,
     doomed: bool,
+    /// The frame reached a final disposition (delivered or failed);
+    /// anything arriving later is a straggler.
+    resolved: bool,
+    /// The final cell has been consumed — the frame left reassembly
+    /// and is no longer the expiry timer's business.
+    eof_reached: bool,
+    /// The link damaged at least one of its cells.
+    corrupt: bool,
     bursts_issued: u32,
     bursts_total: u32,
 }
@@ -277,6 +456,65 @@ pub fn run_rx_profiled(
     run_rx_full(cfg, wl, &mut NullTracer, profiler)
 }
 
+/// Run a workload through a seeded link [`FaultPlan`] and then the
+/// receive pipeline, folding the link's own losses into the report's
+/// [`CellLedger`] so the conservation invariant spans the whole path.
+pub fn run_rx_faulted(
+    cfg: &RxConfig,
+    wl: &RxWorkload,
+    plan: &FaultPlan,
+    seed: u64,
+) -> (RxReport, LinkFaults) {
+    let (report, _, lf) =
+        run_rx_faulted_full(cfg, wl, plan, seed, &mut NullTracer, &mut NullProfiler);
+    (report, lf)
+}
+
+/// [`run_rx_faulted`] with a tracer attached (for metrics-registry
+/// reconciliation against the ledger).
+pub fn run_rx_faulted_instrumented(
+    cfg: &RxConfig,
+    wl: &RxWorkload,
+    plan: &FaultPlan,
+    seed: u64,
+    tracer: &mut dyn Tracer,
+) -> (RxReport, LinkFaults) {
+    let (report, _, lf) = run_rx_faulted_full(cfg, wl, plan, seed, tracer, &mut NullProfiler);
+    (report, lf)
+}
+
+pub(crate) fn run_rx_faulted_full(
+    cfg: &RxConfig,
+    wl: &RxWorkload,
+    plan: &FaultPlan,
+    seed: u64,
+    tracer: &mut dyn Tracer,
+    profiler: &mut dyn Profiler,
+) -> (RxReport, Vec<Option<Time>>, LinkFaults) {
+    let (fwl, lf) = apply_faults(wl, plan, cfg.rate.cell_slot_time(), seed);
+    let mut completions = Some(vec![None; wl.pkts.len()]);
+    let mut report = run_rx_inner(cfg, &fwl, &mut completions, tracer, profiler);
+    report.ledger.injected += lf.dropped;
+    report.ledger.dropped_link = lf.dropped;
+    // Packets whose every cell the link swallowed never started at the
+    // interface; they still failed end to end.
+    let mut present = vec![false; wl.pkts.len()];
+    for a in &fwl.arrivals {
+        present[a.pkt] = true;
+    }
+    let mut offered = vec![false; wl.pkts.len()];
+    for a in &wl.arrivals {
+        offered[a.pkt] = true;
+    }
+    let vanished = offered
+        .iter()
+        .zip(&present)
+        .filter(|(o, p)| **o && !**p)
+        .count();
+    report.failed_packets += vanished as u64;
+    (report, completions.expect("completions requested"), lf)
+}
+
 /// Both observability sinks at once — what the end-to-end composition
 /// runs so one pass can feed the tracer and the profiler.
 pub(crate) fn run_rx_full(
@@ -298,8 +536,8 @@ fn run_rx_inner(
     profiler: &mut dyn Profiler,
 ) -> RxReport {
     let engine = ProtocolEngine::new(cfg.mips, cfg.partition.clone());
-    let mut bus = Bus::new(cfg.bus);
-    let mut pool = BufferPool::new(cfg.pool);
+    let mut bus = Bus::with_faults(cfg.bus, cfg.bus_faults);
+    let mut pool = BufferPool::with_policy(cfg.pool, cfg.policy);
     let mut q: EventQueue<REv> = EventQueue::new();
 
     for (i, a) in wl.arrivals.iter().enumerate() {
@@ -311,8 +549,13 @@ fn run_rx_inner(
         .iter()
         .map(|m| PktState {
             cells_seen: 0,
+            retained: 0,
             first_arrival: None,
+            last_activity: Time::ZERO,
             doomed: false,
+            resolved: false,
+            eof_reached: false,
+            corrupt: false,
             bursts_issued: 0,
             bursts_total: if m.len == 0 {
                 0
@@ -334,12 +577,20 @@ fn run_rx_inner(
     let mut engine_idle_since: Option<(Time, Activity)> = None;
     let slot = cfg.rate.cell_slot_time();
 
-    let mut dropped_fifo = 0u64;
-    let mut dropped_pool = 0u64;
+    let mut ledger = CellLedger {
+        injected: wl.arrivals.len() as u64,
+        ..CellLedger::default()
+    };
     let mut delivered_packets = 0u64;
     let mut delivered_octets = 0u64;
+    let mut failed_packets = 0u64;
     let mut latency = Summary::new();
     let mut finished_at = Time::ZERO;
+    // End of *productive* simulated activity (expiry ticks excluded, so
+    // a no-op timer never stretches utilization or goodput spans).
+    let mut last_event = Time::ZERO;
+    let expiry_on = cfg.reassembly_timeout > Duration::ZERO;
+    let mut tick_pending = false;
 
     let cell_time = engine.task_time(TaskKind::RxHec)
         + engine.task_time(TaskKind::RxVciLookup)
@@ -415,9 +666,25 @@ fn run_rx_inner(
         };
     }
 
+    // Fail a frame: release whatever it holds and mark it resolved.
+    // Callers must have moved `retained` into a ledger bucket first.
+    macro_rules! resolve_failed {
+        ($now:expr, $p:expr) => {{
+            let freed = pool.release_chain($now, $p as u32);
+            if freed > 0 && profiler.enabled() {
+                profiler.gauge(Component::RxPool, $now, pool.in_use() as u64);
+            }
+            let st = &mut pkts[$p];
+            st.resolved = true;
+            st.doomed = true;
+            failed_packets += 1;
+        }};
+    }
+
     while let Some((now, ev)) = q.pop() {
         match ev {
             REv::CellArrive(i) => {
+                last_event = now;
                 let a = wl.arrivals[i];
                 let conn = wl.pkts[a.pkt].conn as u32;
                 if profiler.enabled() {
@@ -434,40 +701,97 @@ fn run_rx_inner(
                             .cell(i as u64),
                     );
                 }
-                let st = &mut pkts[a.pkt];
-                if st.first_arrival.is_none() {
-                    st.first_arrival = Some(now);
-                }
-                if fifo.len() >= cfg.fifo_cells {
-                    dropped_fifo += 1;
-                    st.doomed = true;
+                if pkts[a.pkt].resolved {
+                    // Straggler (duplicate or reordered copy arriving
+                    // after the frame reached a final disposition).
+                    ledger.discarded_stale += 1;
                     if tracer.enabled() {
                         tracer.record(
-                            TraceEvent::instant(now, Stage::RxFifoDrop)
-                                .vc(conn)
-                                .pkt(a.pkt)
-                                .cell(i as u64),
-                        );
-                    }
-                } else {
-                    fifo.push_back((a.pkt, a.is_last));
-                    fifo_peak = fifo_peak.max(fifo.len() as u64);
-                    if profiler.enabled() {
-                        profiler.gauge(Component::RxFifo, now, fifo.len() as u64);
-                    }
-                    if tracer.enabled() {
-                        tracer.record(
-                            TraceEvent::instant(now, Stage::RxFifoEnqueue)
+                            TraceEvent::instant(now, Stage::RxStaleDiscard)
                                 .vc(conn)
                                 .pkt(a.pkt)
                                 .cell(i as u64)
-                                .arg(fifo.len() as u64),
+                                .arg(1),
                         );
+                    }
+                } else {
+                    let starts_frame = pkts[a.pkt].first_arrival.is_none();
+                    {
+                        let st = &mut pkts[a.pkt];
+                        if starts_frame {
+                            st.first_arrival = Some(now);
+                        }
+                        st.last_activity = now;
+                        if a.corrupted {
+                            st.corrupt = true;
+                        }
+                    }
+                    if starts_frame && expiry_on && !tick_pending {
+                        q.schedule_in(cfg.reassembly_timeout, REv::ExpiryTick);
+                        tick_pending = true;
+                    }
+                    match pool.admit(a.pkt as u32, starts_frame) {
+                        Err(why @ (PoolError::EarlyDiscard | PoolError::PartialDiscard)) => {
+                            let stage = if why == PoolError::EarlyDiscard {
+                                ledger.discarded_epd += 1;
+                                Stage::RxEpdDiscard
+                            } else {
+                                ledger.discarded_ppd += 1;
+                                Stage::RxPpdDiscard
+                            };
+                            if tracer.enabled() {
+                                tracer.record(
+                                    TraceEvent::instant(now, stage)
+                                        .vc(conn)
+                                        .pkt(a.pkt)
+                                        .cell(i as u64)
+                                        .arg(1),
+                                );
+                            }
+                            if a.is_last {
+                                // The frame's end came and went unseen:
+                                // it can never validate.
+                                pkts[a.pkt].eof_reached = true;
+                                resolve_failed!(now, a.pkt);
+                            }
+                        }
+                        // `admit` never reports Exhausted; drop-tail
+                        // pressure shows up at append time instead.
+                        Ok(()) | Err(PoolError::Exhausted) => {
+                            if fifo.len() >= cfg.fifo_cells {
+                                ledger.dropped_fifo += 1;
+                                pkts[a.pkt].doomed = true;
+                                if tracer.enabled() {
+                                    tracer.record(
+                                        TraceEvent::instant(now, Stage::RxFifoDrop)
+                                            .vc(conn)
+                                            .pkt(a.pkt)
+                                            .cell(i as u64),
+                                    );
+                                }
+                            } else {
+                                fifo.push_back((a.pkt, a.is_last));
+                                fifo_peak = fifo_peak.max(fifo.len() as u64);
+                                if profiler.enabled() {
+                                    profiler.gauge(Component::RxFifo, now, fifo.len() as u64);
+                                }
+                                if tracer.enabled() {
+                                    tracer.record(
+                                        TraceEvent::instant(now, Stage::RxFifoEnqueue)
+                                            .vc(conn)
+                                            .pkt(a.pkt)
+                                            .cell(i as u64)
+                                            .arg(fifo.len() as u64),
+                                    );
+                                }
+                            }
+                        }
                     }
                 }
                 kick_engine!(q, now);
             }
             REv::EngineDone(task) => {
+                last_event = now;
                 engine_busy = false;
                 match task {
                     RTask::Cell(p, is_last) => {
@@ -475,46 +799,81 @@ fn run_rx_inner(
                         if tracer.enabled() {
                             tracer.record(TraceEvent::exit(now, Stage::RxCell).vc(conn).pkt(p));
                         }
-                        let st = &mut pkts[p];
-                        st.cells_seen += 1;
-                        let appended = pool.append_cell(now, p as u32).is_ok();
-                        if !appended {
-                            dropped_pool += 1;
-                            st.doomed = true;
-                        }
-                        if profiler.enabled() {
-                            profiler.gauge(Component::RxPool, now, pool.in_use() as u64);
-                        }
-                        if tracer.enabled() {
-                            let stage = if appended {
-                                Stage::RxReasmAppend
-                            } else {
-                                Stage::RxPoolDrop
-                            };
-                            tracer.record(
-                                TraceEvent::instant(now, stage)
-                                    .vc(conn)
-                                    .pkt(p)
-                                    .arg(st.cells_seen as u64),
-                            );
-                        }
-                        if is_last {
-                            if st.doomed {
-                                // Abandon: free whatever was chained.
-                                pool.release_chain(now, p as u32);
-                                if profiler.enabled() {
-                                    profiler.gauge(Component::RxPool, now, pool.in_use() as u64);
+                        if pkts[p].resolved {
+                            // The frame was resolved while this cell sat
+                            // in the FIFO; its chain is gone.
+                            ledger.discarded_stale += 1;
+                            if tracer.enabled() {
+                                tracer.record(
+                                    TraceEvent::instant(now, Stage::RxStaleDiscard)
+                                        .vc(conn)
+                                        .pkt(p)
+                                        .arg(1),
+                                );
+                            }
+                        } else {
+                            pkts[p].cells_seen += 1;
+                            let result = pool.append_cell(now, p as u32);
+                            let mut ppd_charge = 0u64;
+                            match result {
+                                Ok(()) => pkts[p].retained += 1,
+                                Err(PoolError::Exhausted) => {
+                                    ledger.dropped_pool += 1;
+                                    pkts[p].doomed = true;
                                 }
-                            } else {
-                                if tracer.enabled() {
-                                    tracer.record(
-                                        TraceEvent::instant(now, Stage::RxReasmComplete)
-                                            .vc(conn)
-                                            .pkt(p)
-                                            .arg(st.cells_seen as u64),
-                                    );
+                                Err(PoolError::PartialDiscard) => {
+                                    // On the triggering cell PPD reclaims
+                                    // the frame's whole stored chain
+                                    // (`retained` > 0 only then); the
+                                    // follow-ups cost one cell each.
+                                    let st = &mut pkts[p];
+                                    ppd_charge = st.retained as u64 + 1;
+                                    ledger.discarded_ppd += ppd_charge;
+                                    st.retained = 0;
+                                    st.doomed = true;
                                 }
-                                task_q.push_back(RTask::Validate(p));
+                                Err(PoolError::EarlyDiscard) => {
+                                    ledger.discarded_epd += 1;
+                                    pkts[p].doomed = true;
+                                }
+                            }
+                            if profiler.enabled() {
+                                profiler.gauge(Component::RxPool, now, pool.in_use() as u64);
+                            }
+                            if tracer.enabled() {
+                                let st = &pkts[p];
+                                let (stage, arg) = match result {
+                                    Ok(()) => (Stage::RxReasmAppend, st.cells_seen as u64),
+                                    Err(PoolError::Exhausted) => {
+                                        (Stage::RxPoolDrop, st.cells_seen as u64)
+                                    }
+                                    Err(PoolError::PartialDiscard) => {
+                                        (Stage::RxPpdDiscard, ppd_charge)
+                                    }
+                                    Err(PoolError::EarlyDiscard) => (Stage::RxEpdDiscard, 1),
+                                };
+                                tracer.record(
+                                    TraceEvent::instant(now, stage).vc(conn).pkt(p).arg(arg),
+                                );
+                            }
+                            if is_last {
+                                pkts[p].eof_reached = true;
+                                if pkts[p].doomed {
+                                    // Abandon: free whatever was chained.
+                                    ledger.discarded_abandoned += pkts[p].retained as u64;
+                                    pkts[p].retained = 0;
+                                    resolve_failed!(now, p);
+                                } else {
+                                    if tracer.enabled() {
+                                        tracer.record(
+                                            TraceEvent::instant(now, Stage::RxReasmComplete)
+                                                .vc(conn)
+                                                .pkt(p)
+                                                .arg(pkts[p].cells_seen as u64),
+                                        );
+                                    }
+                                    task_q.push_back(RTask::Validate(p));
+                                }
                             }
                         }
                     }
@@ -526,27 +885,44 @@ fn run_rx_inner(
                                     .pkt(p),
                             );
                         }
-                        // Validation passed (the functional data path
-                        // checks bytes; here loss is the only failure
-                        // mode and doomed packets never validate).
-                        let st = &mut pkts[p];
-                        if st.bursts_total == 0 {
-                            task_q.push_back(RTask::Complete(p));
-                        } else if engine.partition.in_hardware(TaskKind::RxDmaBurst) {
-                            st.bursts_issued += 1;
-                            let words = cfg.bus.burst_words(wl.pkts[p].len.max(1), 0);
-                            let done = bus.grant_profiled(
-                                now,
-                                words,
-                                words as usize * cfg.bus.word_bytes,
-                                Component::RxBus,
-                                profiler,
-                            );
-                            bursts_in_flight += 1;
-                            q.schedule(done, REv::BusDone(p));
-                        } else {
-                            st.bursts_issued += 1;
-                            task_q.push_back(RTask::Burst(p));
+                        let expected = wl.pkts[p].cells;
+                        let st = &pkts[p];
+                        if !st.resolved && (st.doomed || st.corrupt || st.cells_seen != expected) {
+                            // The CRC-32 catch-all: damaged payload, or a
+                            // cell count the length field contradicts
+                            // (duplicate slipped in / straggler missing).
+                            let retained = pkts[p].retained as u64;
+                            ledger.discarded_crc += retained;
+                            pkts[p].retained = 0;
+                            if tracer.enabled() {
+                                tracer.record(
+                                    TraceEvent::instant(now, Stage::RxValidateFail)
+                                        .vc(wl.pkts[p].conn as u32)
+                                        .pkt(p)
+                                        .arg(retained),
+                                );
+                            }
+                            resolve_failed!(now, p);
+                        } else if !st.resolved {
+                            let st = &mut pkts[p];
+                            if st.bursts_total == 0 {
+                                task_q.push_back(RTask::Complete(p));
+                            } else if engine.partition.in_hardware(TaskKind::RxDmaBurst) {
+                                st.bursts_issued += 1;
+                                let words = cfg.bus.burst_words(wl.pkts[p].len.max(1), 0);
+                                let done = bus.grant_profiled(
+                                    now,
+                                    words,
+                                    words as usize * cfg.bus.word_bytes,
+                                    Component::RxBus,
+                                    profiler,
+                                );
+                                bursts_in_flight += 1;
+                                q.schedule(done, REv::BusDone(p));
+                            } else {
+                                st.bursts_issued += 1;
+                                task_q.push_back(RTask::Burst(p));
+                            }
                         }
                     }
                     RTask::Burst(p) => {
@@ -578,6 +954,10 @@ fn run_rx_inner(
                         if profiler.enabled() {
                             profiler.gauge(Component::RxPool, now, pool.in_use() as u64);
                         }
+                        let st = &mut pkts[p];
+                        ledger.delivered_cells += st.retained as u64;
+                        st.retained = 0;
+                        st.resolved = true;
                         delivered_packets += 1;
                         delivered_octets += meta.len as u64;
                         finished_at = now;
@@ -592,6 +972,7 @@ fn run_rx_inner(
                 kick_engine!(q, now);
             }
             REv::BusDone(p) => {
+                last_event = now;
                 bursts_in_flight -= 1;
                 if tracer.enabled() {
                     tracer.record(
@@ -624,16 +1005,68 @@ fn run_rx_inner(
                 }
                 kick_engine!(q, now);
             }
+            REv::ExpiryTick => {
+                // Background purge: no engine time, no `last_event`.
+                tick_pending = false;
+                let mut any_waiting = false;
+                let mut expired = Vec::new();
+                for (p, st) in pkts.iter().enumerate() {
+                    if st.resolved || st.eof_reached || st.first_arrival.is_none() {
+                        continue;
+                    }
+                    if now.saturating_since(st.last_activity) >= cfg.reassembly_timeout {
+                        expired.push(p);
+                    } else {
+                        any_waiting = true;
+                    }
+                }
+                for p in expired {
+                    let retained = pkts[p].retained as u64;
+                    ledger.discarded_expired += retained;
+                    pkts[p].retained = 0;
+                    if tracer.enabled() {
+                        tracer.record(
+                            TraceEvent::instant(now, Stage::RxReasmExpire)
+                                .vc(wl.pkts[p].conn as u32)
+                                .pkt(p)
+                                .arg(retained),
+                        );
+                    }
+                    resolve_failed!(now, p);
+                }
+                if any_waiting {
+                    // Half-timeout cadence bounds detection latency at
+                    // 1.5 × the timeout without per-frame timers.
+                    q.schedule_in(
+                        Duration::from_ps((cfg.reassembly_timeout.as_ps() / 2).max(1)),
+                        REv::ExpiryTick,
+                    );
+                    tick_pending = true;
+                }
+            }
         }
     }
 
-    let end = finished_at.max(q.now());
+    let end = finished_at.max(last_event);
+    // With the expiry timer disabled, frames stalled mid-reassembly are
+    // still open when the queue drains; account them so the ledger
+    // always reconciles.
+    let abandoned: Vec<usize> = pkts
+        .iter()
+        .enumerate()
+        .filter(|(_, st)| !st.resolved && st.first_arrival.is_some())
+        .map(|(p, _)| p)
+        .collect();
+    for p in abandoned {
+        ledger.discarded_abandoned += pkts[p].retained as u64;
+        pkts[p].retained = 0;
+        resolve_failed!(end, p);
+    }
     let elapsed_s = end.saturating_since(Time::ZERO).as_s_f64();
-    let failed_packets = pkts.iter().filter(|p| p.doomed).count() as u64;
     RxReport {
         cells_offered: wl.arrivals.len() as u64,
-        dropped_fifo,
-        dropped_pool,
+        dropped_fifo: ledger.dropped_fifo,
+        dropped_pool: ledger.dropped_pool,
         delivered_packets,
         delivered_octets,
         failed_packets,
@@ -654,6 +1087,7 @@ fn run_rx_inner(
         packet_latency_us: latency,
         finished_at,
         run_end: end,
+        ledger,
     }
 }
 
@@ -670,6 +1104,8 @@ mod tests {
         assert_eq!(r.failed_packets, 0);
         assert_eq!(r.dropped_fifo, 0);
         assert_eq!(r.delivered_octets, 40 * 9180);
+        assert!(r.ledger.reconciles(), "{:?}", r.ledger);
+        assert_eq!(r.ledger.delivered_cells, r.ledger.injected);
     }
 
     #[test]
@@ -702,6 +1138,7 @@ mod tests {
         assert!(r.dropped_fifo > 0, "software per-cell work cannot keep up");
         assert!(r.failed_packets > 0);
         assert!(r.engine_util > 0.95);
+        assert!(r.ledger.reconciles(), "{:?}", r.ledger);
     }
 
     #[test]
@@ -731,6 +1168,150 @@ mod tests {
         assert!(r.dropped_pool > 0);
         assert!(r.failed_packets > 0);
         assert_eq!(r.pool_peak, 4);
+        assert!(r.ledger.reconciles(), "{:?}", r.ledger);
+    }
+
+    #[test]
+    fn epd_beats_drop_tail_when_pool_starves() {
+        // Same starved pool as above; EPD refuses whole frames at the
+        // door instead of shredding every frame a little.
+        let mut dt = RxConfig::paper(LineRate::Oc12);
+        dt.pool = PoolConfig {
+            total_buffers: 16,
+            cells_per_buffer: 32,
+        };
+        let mut epd = dt.clone();
+        // 9180-octet frames span 6 buffers, so a 16-buffer pool fits two
+        // whole frames: the threshold must leave admitted frames room to
+        // GROW, not just room to start. Drop-tail instead lets all 64
+        // VCs start chains that can never finish.
+        epd.policy = DiscardPolicy::Epd { threshold: 2 };
+        let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 64, 4, 9180, 1.0);
+        let r_dt = run_rx(&dt, &wl);
+        let r_epd = run_rx(&epd, &wl);
+        assert!(r_epd.ledger.discarded_epd > 0);
+        assert!(r_dt.ledger.reconciles(), "{:?}", r_dt.ledger);
+        assert!(r_epd.ledger.reconciles(), "{:?}", r_epd.ledger);
+        assert!(
+            r_epd.delivered_packets > r_dt.delivered_packets,
+            "EPD {} vs drop-tail {}",
+            r_epd.delivered_packets,
+            r_dt.delivered_packets
+        );
+    }
+
+    #[test]
+    fn ppd_reclaims_doomed_chains() {
+        let mut cfg = RxConfig::paper(LineRate::Oc12);
+        cfg.pool = PoolConfig {
+            total_buffers: 8,
+            cells_per_buffer: 32,
+        };
+        cfg.policy = DiscardPolicy::Ppd;
+        let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 64, 2, 9180, 1.0);
+        let r = run_rx(&cfg, &wl);
+        assert!(r.ledger.discarded_ppd > 0);
+        assert_eq!(r.ledger.dropped_pool, 0, "PPD converts exhaustion");
+        assert!(r.ledger.reconciles(), "{:?}", r.ledger);
+    }
+
+    #[test]
+    fn expiry_purges_stalled_chain_and_frees_buffers() {
+        let cfg = RxConfig::paper(LineRate::Oc12);
+        // One frame whose last cell never arrives: 5 of 6 cells.
+        let pkts = vec![RxPktMeta {
+            conn: 0,
+            len: 240,
+            cells: 6,
+        }];
+        let mut arrivals = Vec::new();
+        for c in 0..5usize {
+            arrivals.push(CellArrival {
+                at: Time::from_ns(708 * (c as u64 + 1)),
+                pkt: 0,
+                is_last: false,
+                corrupted: false,
+            });
+        }
+        let wl = RxWorkload { arrivals, pkts };
+        let r = run_rx(&cfg, &wl);
+        assert_eq!(r.delivered_packets, 0);
+        assert_eq!(r.failed_packets, 1);
+        assert_eq!(r.ledger.discarded_expired, 5);
+        assert!(r.ledger.reconciles(), "{:?}", r.ledger);
+        // The purge is bookkeeping: it must not stretch the run.
+        assert!(r.run_end < Time::from_ms(1), "run_end {:?}", r.run_end);
+    }
+
+    #[test]
+    fn expiry_disabled_still_reconciles() {
+        let mut cfg = RxConfig::paper(LineRate::Oc12);
+        cfg.reassembly_timeout = Duration::ZERO;
+        let pkts = vec![RxPktMeta {
+            conn: 0,
+            len: 240,
+            cells: 6,
+        }];
+        let arrivals = (0..5usize)
+            .map(|c| CellArrival {
+                at: Time::from_ns(708 * (c as u64 + 1)),
+                pkt: 0,
+                is_last: false,
+                corrupted: false,
+            })
+            .collect();
+        let wl = RxWorkload { arrivals, pkts };
+        let r = run_rx(&cfg, &wl);
+        assert_eq!(r.failed_packets, 1);
+        assert_eq!(r.ledger.discarded_abandoned, 5);
+        assert!(r.ledger.reconciles(), "{:?}", r.ledger);
+    }
+
+    #[test]
+    fn corrupt_cell_fails_validation() {
+        let cfg = RxConfig::paper(LineRate::Oc12);
+        let mut wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 1, 2, 4096, 0.8);
+        wl.arrivals[1].corrupted = true;
+        let r = run_rx(&cfg, &wl);
+        assert_eq!(r.delivered_packets, 1);
+        assert_eq!(r.failed_packets, 1);
+        assert!(r.ledger.discarded_crc > 0);
+        assert!(r.ledger.reconciles(), "{:?}", r.ledger);
+    }
+
+    #[test]
+    fn faulted_run_reconciles_and_is_deterministic() {
+        let cfg = RxConfig::paper(LineRate::Oc12);
+        let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 8, 6, 9180, 0.9);
+        let plan = FaultPlan::iid(0.005, 1e-5)
+            .with_duplication(0.01)
+            .with_reorder(0.02, 4);
+        let (r1, lf1) = run_rx_faulted(&cfg, &wl, &plan, 42);
+        let (r2, lf2) = run_rx_faulted(&cfg, &wl, &plan, 42);
+        assert_eq!(lf1, lf2);
+        assert_eq!(r1.ledger, r2.ledger);
+        assert!(lf1.dropped > 0, "0.5% loss over 9216 cells");
+        assert_eq!(r1.ledger.dropped_link, lf1.dropped);
+        assert_eq!(
+            r1.ledger.injected,
+            wl.arrivals.len() as u64 + lf1.duplicated
+        );
+        assert!(r1.ledger.reconciles(), "{:?}", r1.ledger);
+        assert!(r1.delivered_packets < 48, "some frames must fail");
+        assert!(
+            r1.delivered_packets > 0,
+            "some frames must survive 0.5% loss"
+        );
+    }
+
+    #[test]
+    fn faultless_plan_is_byte_identical_and_draw_free() {
+        let cfg = RxConfig::paper(LineRate::Oc12);
+        let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 4, 10, 9180, 0.9);
+        let plain = run_rx(&cfg, &wl);
+        let (faulted, lf) = run_rx_faulted(&cfg, &wl, &FaultPlan::NONE, 7);
+        assert_eq!(lf.rng_draws, 0, "empty plan must not touch the RNG");
+        assert_eq!(format!("{plain:?}"), format!("{faulted:?}"));
     }
 
     #[test]
@@ -795,5 +1376,6 @@ mod tests {
             r.dropped_fifo + r.dropped_pool > 0 && r.failed_packets > 0,
             "single-cell packets at line rate must overwhelm per-packet processing: {r:?}"
         );
+        assert!(r.ledger.reconciles(), "{:?}", r.ledger);
     }
 }

@@ -30,6 +30,7 @@
 //! parallelism for an evaluation harness.
 
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod queue;
 pub mod rng;
@@ -37,7 +38,8 @@ pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
-pub use link::{FaultSpec, Link, LinkDelivery};
+pub use faults::{BusFaultPlan, FaultInjector, FaultPlan, FaultProcess, GeParams, UnitFate};
+pub use link::{Link, LinkDelivery};
 pub use queue::BoundedFifo;
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, OccupancyTracker, RateMeter, Summary};

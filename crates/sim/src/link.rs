@@ -6,59 +6,34 @@
 //! caller owns the bytes and applies the corruption itself; this keeps the
 //! link reusable for cells, frames, and whole SONET rows.
 //!
-//! Fault injection follows the smoltcp example convention: independent
-//! per-unit loss probability plus a bit-error rate. Bit errors are drawn
-//! with geometric gap sampling, so a BER of 1e-9 costs O(errors), not
-//! O(bits).
+//! Faults come from a seeded [`FaultPlan`] (see [`crate::faults`]):
+//! whole-unit loss and bit errors — i.i.d. or bursty Gilbert–Elliott —
+//! plus duplication and bounded reordering. Bit errors are drawn with
+//! geometric gap sampling, so a BER of 1e-9 costs O(errors), not
+//! O(bits). Reordering is expressed in time: a displaced unit arrives
+//! late by a bounded number of unit-times, so successors overtake it. A
+//! duplicated unit arrives again one unit-time after its first copy.
 //!
 //! The link serializes: a unit cannot start transmitting before the
 //! previous one has finished (`next_free`). Propagation delay is added
 //! after serialization, classic `tx_time + prop` semantics.
 
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::rng::Rng;
 use crate::time::{Duration, Time};
-
-/// Fault-injection parameters for a [`Link`].
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct FaultSpec {
-    /// Probability that a transmitted unit is lost entirely (e.g. a cell
-    /// discarded by a congested switch on the path this link abstracts).
-    pub loss_probability: f64,
-    /// Independent probability that any single bit is inverted in flight.
-    pub bit_error_rate: f64,
-}
-
-impl FaultSpec {
-    /// No faults at all.
-    pub const NONE: FaultSpec = FaultSpec {
-        loss_probability: 0.0,
-        bit_error_rate: 0.0,
-    };
-
-    /// Only whole-unit loss.
-    pub fn loss(p: f64) -> Self {
-        FaultSpec {
-            loss_probability: p,
-            bit_error_rate: 0.0,
-        }
-    }
-
-    /// Only bit errors.
-    pub fn ber(p: f64) -> Self {
-        FaultSpec {
-            loss_probability: 0.0,
-            bit_error_rate: p,
-        }
-    }
-}
 
 /// The fate of one transmitted unit.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LinkDelivery {
     /// The unit arrives complete at `at`, with the listed bit positions
     /// (0 = first bit on the wire) inverted. An empty list is a clean
-    /// delivery.
-    Delivered { at: Time, flipped_bits: Vec<u64> },
+    /// delivery. If the fault plan duplicated the unit, a second
+    /// identical copy arrives at `duplicate_at`.
+    Delivered {
+        at: Time,
+        flipped_bits: Vec<u64>,
+        duplicate_at: Option<Time>,
+    },
     /// The unit was lost; it never arrives.
     Lost,
 }
@@ -69,30 +44,20 @@ pub enum LinkDelivery {
 pub struct Link {
     bits_per_second: f64,
     propagation: Duration,
-    faults: FaultSpec,
-    rng: Rng,
+    injector: FaultInjector,
     next_free: Time,
-    sent_units: u64,
-    lost_units: u64,
-    flipped_bits: u64,
 }
 
 impl Link {
     /// A link with the given line rate, one-way propagation delay, fault
-    /// model and RNG stream.
-    pub fn new(bits_per_second: f64, propagation: Duration, faults: FaultSpec, rng: Rng) -> Self {
+    /// plan and RNG stream.
+    pub fn new(bits_per_second: f64, propagation: Duration, plan: FaultPlan, rng: Rng) -> Self {
         assert!(bits_per_second > 0.0);
-        assert!((0.0..=1.0).contains(&faults.loss_probability));
-        assert!((0.0..=1.0).contains(&faults.bit_error_rate));
         Link {
             bits_per_second,
             propagation,
-            faults,
-            rng,
+            injector: FaultInjector::new(plan, rng),
             next_free: Time::ZERO,
-            sent_units: 0,
-            lost_units: 0,
-            flipped_bits: 0,
         }
     }
 
@@ -113,56 +78,53 @@ impl Link {
 
     /// Transmit a unit of `bits` bits, offered at time `now`.
     ///
-    /// Serialization begins at `max(now, next_free)`; the returned arrival
-    /// time is serialization end plus propagation delay. Loss and bit
-    /// errors are then drawn from the fault model.
+    /// Serialization begins at `max(now, next_free)`; the base arrival
+    /// time is serialization end plus propagation delay. The fault plan
+    /// then decides the unit's fate: loss, corruption, a late
+    /// (reordered) arrival displaced by whole unit-times, or a
+    /// duplicate copy one unit-time behind the first.
     pub fn send(&mut self, now: Time, bits: u64) -> LinkDelivery {
         assert!(bits > 0, "cannot transmit a zero-length unit");
         let start = now.max(self.next_free);
         let ser = Duration::for_bits(bits, self.bits_per_second);
         self.next_free = start + ser;
-        self.sent_units += 1;
 
-        if self.rng.chance(self.faults.loss_probability) {
-            self.lost_units += 1;
+        let fate = self.injector.fate(bits);
+        if fate.lost {
             return LinkDelivery::Lost;
         }
-
-        let mut flipped = Vec::new();
-        if self.faults.bit_error_rate > 0.0 {
-            // Geometric gap sampling across the unit's bits.
-            let mut pos: u64 = 0;
-            loop {
-                let gap = self.rng.geometric(self.faults.bit_error_rate);
-                pos = match pos.checked_add(gap) {
-                    Some(p) => p,
-                    None => break,
-                };
-                if pos > bits {
-                    break;
-                }
-                flipped.push(pos - 1);
-            }
-            self.flipped_bits += flipped.len() as u64;
-        }
-
+        let at = self.next_free + self.propagation + ser * fate.displaced as u64;
         LinkDelivery::Delivered {
-            at: self.next_free + self.propagation,
-            flipped_bits: flipped,
+            at,
+            duplicate_at: fate.duplicated.then(|| at + ser),
+            flipped_bits: fate.flipped_bits,
         }
     }
 
     /// Units offered to the link so far.
     pub fn sent_units(&self) -> u64 {
-        self.sent_units
+        self.injector.units()
     }
-    /// Units the fault model destroyed.
+    /// Units the fault plan destroyed.
     pub fn lost_units(&self) -> u64 {
-        self.lost_units
+        self.injector.lost()
     }
-    /// Total bits the fault model inverted.
+    /// Units the fault plan delivered twice.
+    pub fn duplicated_units(&self) -> u64 {
+        self.injector.duplicated()
+    }
+    /// Units the fault plan delivered out of order.
+    pub fn reordered_units(&self) -> u64 {
+        self.injector.displaced()
+    }
+    /// Total bits the fault plan inverted.
     pub fn total_flipped_bits(&self) -> u64 {
-        self.flipped_bits
+        self.injector.total_flipped_bits()
+    }
+    /// Raw RNG values the fault plan has consumed (zero when the plan
+    /// is [`FaultPlan::NONE`] — the faultless fast path is free).
+    pub fn rng_draws(&self) -> u64 {
+        self.injector.rng_draws()
     }
 }
 
@@ -182,26 +144,41 @@ pub fn apply_bit_errors(buf: &mut [u8], flipped_bits: &[u64]) {
 mod tests {
     use super::*;
 
-    fn mk(bps: f64, faults: FaultSpec) -> Link {
-        Link::new(bps, Duration::from_us(10), faults, Rng::new(1))
+    fn mk(bps: f64, plan: FaultPlan) -> Link {
+        Link::new(bps, Duration::from_us(10), plan, Rng::new(1))
     }
 
     #[test]
     fn clean_delivery_timing() {
-        let mut l = mk(1e9, FaultSpec::NONE); // 1 Gb/s
+        let mut l = mk(1e9, FaultPlan::NONE); // 1 Gb/s
         match l.send(Time::ZERO, 8000) {
-            LinkDelivery::Delivered { at, flipped_bits } => {
+            LinkDelivery::Delivered {
+                at,
+                flipped_bits,
+                duplicate_at,
+            } => {
                 // 8000 bits at 1 Gb/s = 8 µs + 10 µs propagation.
                 assert_eq!(at, Time::from_us(18));
                 assert!(flipped_bits.is_empty());
+                assert!(duplicate_at.is_none());
             }
             LinkDelivery::Lost => panic!("should not lose"),
         }
     }
 
     #[test]
+    fn faultless_link_draws_no_randomness() {
+        let mut l = mk(1e9, FaultPlan::NONE);
+        for i in 0..1000 {
+            l.send(Time::from_us(i * 10), 424);
+        }
+        assert_eq!(l.rng_draws(), 0);
+        assert_eq!(l.sent_units(), 1000);
+    }
+
+    #[test]
     fn serialization_backpressure() {
-        let mut l = mk(1e9, FaultSpec::NONE);
+        let mut l = mk(1e9, FaultPlan::NONE);
         l.send(Time::ZERO, 8000); // occupies link until 8 µs
         match l.send(Time::from_us(1), 8000) {
             LinkDelivery::Delivered { at, .. } => {
@@ -215,7 +192,7 @@ mod tests {
 
     #[test]
     fn loss_rate_statistical() {
-        let mut l = mk(1e9, FaultSpec::loss(0.3));
+        let mut l = mk(1e9, FaultPlan::loss(0.3));
         let n = 20_000;
         let mut lost = 0;
         let mut t = Time::ZERO;
@@ -233,7 +210,7 @@ mod tests {
     #[test]
     fn ber_statistical() {
         let ber = 1e-3;
-        let mut l = mk(1e9, FaultSpec::ber(ber));
+        let mut l = mk(1e9, FaultPlan::ber(ber));
         let bits_per_unit = 424;
         let n = 50_000u64;
         let mut flips = 0u64;
@@ -255,6 +232,67 @@ mod tests {
     }
 
     #[test]
+    fn duplicates_arrive_one_unit_later() {
+        let mut l = mk(1e9, FaultPlan::NONE.with_duplication(1.0));
+        match l.send(Time::ZERO, 8000) {
+            LinkDelivery::Delivered {
+                at, duplicate_at, ..
+            } => {
+                assert_eq!(at, Time::from_us(18));
+                assert_eq!(duplicate_at, Some(Time::from_us(26)));
+            }
+            _ => panic!(),
+        }
+        assert_eq!(l.duplicated_units(), 1);
+    }
+
+    #[test]
+    fn reordered_units_arrive_late_but_bounded() {
+        let span = 6u32;
+        let mut l = mk(1e9, FaultPlan::NONE.with_reorder(1.0, span));
+        let ser = Duration::for_bits(8000, 1e9);
+        let mut t = Time::ZERO;
+        for _ in 0..200 {
+            match l.send(t, 8000) {
+                LinkDelivery::Delivered { at, .. } => {
+                    let base = l.next_free() + l.propagation();
+                    let late = at.saturating_since(base);
+                    assert!(late >= ser, "every unit must be displaced here");
+                    assert!(late <= ser * span as u64, "displacement beyond span");
+                }
+                _ => panic!(),
+            }
+            t = l.next_free();
+        }
+        assert_eq!(l.reordered_units(), 200);
+    }
+
+    #[test]
+    fn bursty_plan_produces_loss_runs() {
+        let g = crate::faults::GeParams {
+            p_good_to_bad: 0.002,
+            p_bad_to_good: 0.05,
+            good: 0.0,
+            bad: 1.0,
+        };
+        let mut l = mk(1e9, FaultPlan::bursty_loss(g));
+        let mut t = Time::ZERO;
+        let mut longest = 0u32;
+        let mut run = 0u32;
+        for _ in 0..100_000 {
+            if matches!(l.send(t, 424), LinkDelivery::Lost) {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+            t = l.next_free();
+        }
+        assert!(l.lost_units() > 100, "chain never went Bad");
+        assert!(longest >= 5, "losses not bursty (longest run {longest})");
+    }
+
+    #[test]
     fn apply_bit_errors_msb_first() {
         let mut buf = [0u8; 2];
         apply_bit_errors(&mut buf, &[0, 8, 15]);
@@ -267,7 +305,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut l = Link::new(1e9, Duration::ZERO, FaultSpec::loss(0.5), Rng::new(99));
+            let mut l = Link::new(1e9, Duration::ZERO, FaultPlan::loss(0.5), Rng::new(99));
             (0..100)
                 .map(|i| matches!(l.send(Time::from_us(i * 10), 424), LinkDelivery::Lost))
                 .collect::<Vec<_>>()

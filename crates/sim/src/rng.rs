@@ -7,9 +7,14 @@
 //! public domain (Blackman & Vigna, 2018).
 
 /// Deterministic PRNG (xoshiro256**) with convenience samplers.
+///
+/// The generator counts how many raw 64-bit values it has produced
+/// (`draws`), so tests can prove that a code path consumed *zero*
+/// randomness — the contract the fault-injection fast paths rely on.
 #[derive(Clone, Debug)]
 pub struct Rng {
     s: [u64; 4],
+    draws: u64,
 }
 
 impl Rng {
@@ -28,12 +33,20 @@ impl Rng {
             z ^ (z >> 31)
         };
         let s = [next(), next(), next(), next()];
-        Rng { s }
+        Rng { s, draws: 0 }
+    }
+
+    /// How many raw 64-bit values this generator has produced. Every
+    /// sampler ultimately calls [`Rng::next_u64`], so a `draws()` delta of
+    /// zero proves a code path consulted no randomness at all.
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 
     /// Next raw 64 bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
@@ -194,6 +207,29 @@ mod tests {
         let mut r = Rng::new(13);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_extremes_draw_nothing() {
+        let mut r = Rng::new(13);
+        r.chance(0.0);
+        r.chance(1.0);
+        r.chance(-3.0);
+        assert_eq!(r.draws(), 0, "degenerate Bernoulli must be free");
+        r.chance(0.5);
+        assert_eq!(r.draws(), 1);
+    }
+
+    #[test]
+    fn draws_counts_every_sampler() {
+        let mut r = Rng::new(99);
+        assert_eq!(r.draws(), 0);
+        r.next_u64();
+        r.f64();
+        assert_eq!(r.draws(), 2);
+        let before = r.draws();
+        r.geometric(0.01);
+        assert_eq!(r.draws(), before + 1);
     }
 
     #[test]

@@ -40,8 +40,23 @@ pub enum Stage {
     RxReasmAppend,
     /// Cell lost to buffer-pool exhaustion.
     RxPoolDrop,
+    /// Cell refused at frame start by Early Packet Discard (arg = cells
+    /// charged to the discard, always 1 here).
+    RxEpdDiscard,
+    /// Cell (or, on the triggering cell, the whole stored chain) cut by
+    /// Partial Packet Discard (arg = cells charged to the discard).
+    RxPpdDiscard,
+    /// Straggler cell for an already-resolved frame discarded
+    /// (arg = cells charged, always 1).
+    RxStaleDiscard,
+    /// Stalled reassembly chain purged by the expiry timer
+    /// (arg = stored cells discarded with it).
+    RxReasmExpire,
     /// End-of-frame validation.
     RxValidate,
+    /// End-of-frame validation failed — wrong cell count or corrupt
+    /// payload (arg = cells the failed frame had accumulated).
+    RxValidateFail,
     /// Reassembly chain completed for delivery.
     RxReasmComplete,
     /// One delivery DMA burst into host memory finished.
@@ -79,7 +94,12 @@ impl Stage {
             Stage::RxCell => "rx.cell",
             Stage::RxReasmAppend => "rx.reasm.append",
             Stage::RxPoolDrop => "rx.pool.drop",
+            Stage::RxEpdDiscard => "rx.discard.epd",
+            Stage::RxPpdDiscard => "rx.discard.ppd",
+            Stage::RxStaleDiscard => "rx.discard.stale",
+            Stage::RxReasmExpire => "rx.reasm.expire",
             Stage::RxValidate => "rx.validate",
+            Stage::RxValidateFail => "rx.validate.fail",
             Stage::RxReasmComplete => "rx.reasm.complete",
             Stage::RxDmaBurst => "rx.dma",
             Stage::RxComplete => "rx.complete",
@@ -232,7 +252,12 @@ mod tests {
             Stage::RxCell,
             Stage::RxReasmAppend,
             Stage::RxPoolDrop,
+            Stage::RxEpdDiscard,
+            Stage::RxPpdDiscard,
+            Stage::RxStaleDiscard,
+            Stage::RxReasmExpire,
             Stage::RxValidate,
+            Stage::RxValidateFail,
             Stage::RxReasmComplete,
             Stage::RxDmaBurst,
             Stage::RxComplete,

@@ -185,6 +185,18 @@ impl MetricsRegistry {
                 Stage::RxFifoEnqueue => reg.occupancy("nic.rx.fifo.occupancy").set(ev.time, ev.arg),
                 Stage::RxFifoDrop => reg.counter("nic.rx.drops.fifo").bump(),
                 Stage::RxPoolDrop => reg.counter("nic.rx.drops.pool").bump(),
+                // Discard stages carry the cell count in `arg` so the
+                // counters reconcile 1:1 with the run's cell ledger.
+                Stage::RxEpdDiscard => reg.counter("nic.rx.discards.epd").add(ev.arg),
+                Stage::RxPpdDiscard => reg.counter("nic.rx.discards.ppd").add(ev.arg),
+                Stage::RxStaleDiscard => reg.counter("nic.rx.discards.stale").add(ev.arg),
+                Stage::RxReasmExpire => {
+                    reg.counter("nic.rx.reasm.expiries").bump();
+                    reg.counter("nic.rx.discards.expired").add(ev.arg);
+                }
+                Stage::RxValidateFail if ev.phase == Phase::Instant => {
+                    reg.counter("nic.rx.validate.failures").bump();
+                }
                 Stage::RxReasmAppend => reg.counter("nic.rx.reasm.appends").bump(),
                 Stage::RxReasmComplete => reg.counter("nic.rx.reasm.completions").bump(),
                 // Receive bursts carry the burst ordinal in `arg`, not a

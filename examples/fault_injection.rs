@@ -11,17 +11,26 @@
 
 use hni_atm::VcId;
 use hni_core::{Nic, NicConfig, NicEvent};
-use hni_sim::{link::apply_bit_errors, FaultSpec, Link, LinkDelivery, Rng, Time};
+use hni_faults::scenarios;
+use hni_sim::{link::apply_bit_errors, FaultPlan, Link, LinkDelivery, Rng, Time};
 use hni_sonet::LineRate;
 
 fn main() {
-    cell_loss_run();
+    cell_loss_run(
+        "scenario A: 0.5% i.i.d. cell loss (switch congestion)",
+        FaultPlan::loss(0.005),
+    );
     bit_error_run();
+    cell_loss_run(
+        "scenario C: bursty cell loss (Gilbert\u{2013}Elliott, ~0.5% long-run)",
+        scenarios::bursty_congestion(0.005, 12.0),
+    );
 }
 
-/// Scenario A: a congested switch drops 0.5% of cells.
-fn cell_loss_run() {
-    println!("=== scenario A: 0.5% cell loss (switch congestion) ===");
+/// A congested switch drops cells according to `plan` — i.i.d. or
+/// bursty; the downstream protection stack neither knows nor cares.
+fn cell_loss_run(title: &str, plan: FaultPlan) {
+    println!("=== {title} ===");
     let cfg = NicConfig::paper(LineRate::Oc3);
     let mut a = Nic::new(cfg.clone());
     let mut b = Nic::new(cfg);
@@ -33,12 +42,7 @@ fn cell_loss_run() {
         b.receive_line_octets(&f, Time::ZERO);
     }
 
-    let mut link = Link::new(
-        1e9,
-        hni_sim::Duration::ZERO,
-        FaultSpec::loss(0.005),
-        Rng::new(7),
-    );
+    let mut link = Link::new(1e9, hni_sim::Duration::ZERO, plan, Rng::new(7));
     let n_frames = 200;
     let len = 4096;
     let mut t = Time::ZERO;

@@ -64,9 +64,21 @@ fn ra2_quotes_the_mips_minimums() {
 
 #[test]
 fn experiment_list_is_complete_and_ordered() {
-    assert_eq!(EXPERIMENT_IDS.len(), 16);
+    assert_eq!(EXPERIMENT_IDS.len(), 17);
     assert!(EXPERIMENT_IDS.starts_with(&["r-t1", "r-t2"]));
-    assert!(EXPERIMENT_IDS.ends_with(&["r-a2", "r-o1"]));
+    assert!(EXPERIMENT_IDS.ends_with(&["r-o1", "r-r1"]));
+}
+
+#[test]
+fn rr1_quotes_the_policy_comparison() {
+    let out = run_experiment("r-r1").unwrap();
+    for needle in ["drop-tail", "EPD", "PPD", "pool demand", "cell loss"] {
+        assert!(out.contains(needle), "missing {needle}");
+    }
+    // The collapse and the recovery must both be visible in the table:
+    // drop-tail at zero in overload, graceful policies delivering.
+    assert!(out.contains("0 b/s"), "drop-tail collapse missing");
+    assert!(out.contains("Mb/s"), "graceful-policy goodput missing");
 }
 
 #[test]
