@@ -24,6 +24,25 @@ cargo run -q -p hni-bench --example trace_waterfall --release > /dev/null
 cargo run -q -p hni-bench --example profile_bottleneck --release > /dev/null
 cargo run -q -p hni-bench --bin report --release -- r-r1 > /dev/null
 
+echo "==> bench smoke: report perf --fast emits a valid BENCH_PERF.json"
+cargo run -q -p hni-bench --bin report --release -- perf --fast bench_perf_smoke.json > /dev/null
+for key in '"schema": "hni-bench-perf/1"' '"hot_loops"' '"cells_per_sec"' \
+           '"speedup"' '"cores"' '"jobs"' \
+           'aal5_sar_slab' 'hec_delineation' 'rx_reassembly' 'e2e_cells'; do
+    grep -q "$key" bench_perf_smoke.json || {
+        echo "BENCH_PERF schema: missing $key" >&2; exit 1; }
+done
+rm -f bench_perf_smoke.json
+
+echo "==> parallel report == serial report (HNI_JOBS 1 vs 4, pinned seeds)"
+HNI_JOBS=1 cargo run -q -p hni-bench --bin report --release -- r-t4 > par_eq_serial.txt
+HNI_JOBS=4 cargo run -q -p hni-bench --bin report --release -- r-t4 > par_eq_par.txt
+HNI_JOBS=1 cargo run -q -p hni-bench --bin report --release -- r-t3 >> par_eq_serial.txt
+HNI_JOBS=4 cargo run -q -p hni-bench --bin report --release -- r-t3 >> par_eq_par.txt
+cmp par_eq_serial.txt par_eq_par.txt || {
+    echo "parallel sweep diverged from serial report" >&2; exit 1; }
+rm -f par_eq_serial.txt par_eq_par.txt
+
 echo "==> regenerate report_output.txt (report all)"
 cargo run -q -p hni-bench --bin report --release -- all > report_output.txt
 

@@ -32,7 +32,7 @@
 
 use crate::crc::crc10;
 use crate::{ReassembledSdu, ReassemblyError, ReassemblyFailure, ReassemblyOutcome};
-use hni_atm::{Cell, HeaderRepr, VcId, PAYLOAD_SIZE};
+use hni_atm::{Cell, CellRef, CellSlab, HeaderRepr, VcId, PAYLOAD_SIZE};
 use hni_sim::{Duration, Time};
 use std::collections::HashMap;
 
@@ -137,6 +137,10 @@ pub fn cpcs_pdu_len(len: usize) -> usize {
 pub struct Aal34Segmenter {
     sn: HashMap<(VcId, u16), u8>,
     tag: HashMap<(VcId, u16), u8>,
+    /// Reusable CPCS build buffer: after the first frame of the working
+    /// set, segmentation allocates nothing per frame (and nothing per
+    /// cell on the slab path).
+    cpcs: Vec<u8>,
 }
 
 impl Aal34Segmenter {
@@ -150,6 +154,60 @@ impl Aal34Segmenter {
     /// # Panics
     /// If `sdu.len() > MAX_SDU` or `mid >= 1024`.
     pub fn segment(&mut self, vc: VcId, mid: u16, sdu: &[u8]) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(crate::AalType::Aal34.cells_for_sdu(sdu.len()));
+        self.segment_with(vc, mid, sdu, |header, payload| {
+            cells.push(
+                Cell::new(header, payload).expect("UNI header for user VC is always encodable"),
+            );
+        });
+        cells
+    }
+
+    /// Segment into slab-backed cells, appending one [`CellRef`] per cell
+    /// to `out`. Byte-identical to [`Aal34Segmenter::segment`] (same
+    /// core); zero heap allocations per cell on a warmed-up slab.
+    pub fn segment_into(
+        &mut self,
+        vc: VcId,
+        mid: u16,
+        sdu: &[u8],
+        slab: &mut CellSlab,
+        out: &mut Vec<CellRef>,
+    ) {
+        self.segment_with(vc, mid, sdu, |header, payload| {
+            let (r, cell) = slab.alloc_mut();
+            cell.set_header(header)
+                .expect("UNI header for user VC is always encodable");
+            cell.payload_mut().copy_from_slice(payload);
+            out.push(r);
+        });
+    }
+
+    /// Segment a burst of SDUs (all on `vc`/`mid`) into the slab in one
+    /// call; handles are appended to `out` in SDU order.
+    pub fn segment_burst(
+        &mut self,
+        vc: VcId,
+        mid: u16,
+        sdus: &[&[u8]],
+        slab: &mut CellSlab,
+        out: &mut Vec<CellRef>,
+    ) {
+        for sdu in sdus {
+            self.segment_into(vc, mid, sdu, slab, out);
+        }
+    }
+
+    /// The segmentation core shared by the `Vec<Cell>` and slab paths:
+    /// builds the CPCS-PDU in the reusable scratch buffer and emits each
+    /// SAR-PDU through `emit`.
+    fn segment_with(
+        &mut self,
+        vc: VcId,
+        mid: u16,
+        sdu: &[u8],
+        mut emit: impl FnMut(&HeaderRepr, &[u8; PAYLOAD_SIZE]),
+    ) {
         assert!(sdu.len() <= MAX_SDU, "SDU exceeds AAL3/4 maximum");
         assert!(mid < MID_VALUES, "MID is a 10-bit field");
 
@@ -162,7 +220,8 @@ impl Aal34Segmenter {
 
         // Build the CPCS-PDU.
         let pad = (4 - sdu.len() % 4) % 4;
-        let mut cpcs = Vec::with_capacity(cpcs_pdu_len(sdu.len()));
+        let mut cpcs = std::mem::take(&mut self.cpcs);
+        cpcs.clear();
         cpcs.push(0); // CPI = 0
         cpcs.push(tag); // BTag
         cpcs.extend_from_slice(&(sdu.len() as u16).to_be_bytes()); // BAsize
@@ -174,10 +233,8 @@ impl Aal34Segmenter {
         debug_assert_eq!(cpcs.len(), cpcs_pdu_len(sdu.len()));
 
         // Slice into SAR payloads.
-        let chunks: Vec<&[u8]> = cpcs.chunks(SAR_PAYLOAD).collect();
-        let n = chunks.len();
-        let mut cells = Vec::with_capacity(n);
-        for (i, chunk) in chunks.iter().enumerate() {
+        let n = cpcs.len().div_ceil(SAR_PAYLOAD);
+        for (i, chunk) in cpcs.chunks(SAR_PAYLOAD).enumerate() {
             let st = match (n, i) {
                 (1, _) => SegmentType::Ssm,
                 (_, 0) => SegmentType::Bom,
@@ -200,12 +257,9 @@ impl Aal34Segmenter {
             };
             let payload = sar.emit(&body);
             // AAL3/4 does not use the PTI end bit; all cells are plain data.
-            cells.push(
-                Cell::new(&HeaderRepr::data(vc, false), &payload)
-                    .expect("UNI header for user VC is always encodable"),
-            );
+            emit(&HeaderRepr::data(vc, false), &payload);
         }
-        cells
+        self.cpcs = cpcs; // hand the scratch buffer back for reuse
     }
 }
 
@@ -416,6 +470,23 @@ impl Aal34Reassembler {
             data: cpcs[4..4 + length].to_vec(),
             user_to_user: 0,
         }))
+    }
+
+    /// Offer a burst of slab-backed cells, appending every completed SDU
+    /// or failure report to `out` in arrival order (the batched
+    /// counterpart of per-cell [`Aal34Reassembler::push`]).
+    pub fn deliver_burst(
+        &mut self,
+        refs: &[CellRef],
+        slab: &CellSlab,
+        now: Time,
+        out: &mut Vec<Result<ReassembledSdu, ReassemblyFailure>>,
+    ) {
+        for &r in refs {
+            if let Some(outcome) = self.push(slab.get(r), now) {
+                out.push(outcome);
+            }
+        }
     }
 
     /// Abandon timed-out frames.
@@ -684,6 +755,41 @@ mod tests {
             let (parsed, pbody) = SarPdu::parse(&bytes).expect("CRC must verify");
             assert_eq!(parsed, pdu);
             assert_eq!(pbody, body);
+        }
+    }
+
+    #[test]
+    fn slab_path_matches_vec_path_byte_for_byte() {
+        for len in [0usize, 1, 36, 37, 80, 500, 2000] {
+            let sdu: Vec<u8> = (0..len).map(|i| (i * 11 % 256) as u8).collect();
+            // Two segmenters in the same state produce the same SN/tag
+            // sequences; one drives the Vec path, one the slab path.
+            let mut seg_a = Aal34Segmenter::new();
+            let mut seg_b = Aal34Segmenter::new();
+            let vec_cells = seg_a.segment(vc(), 9, &sdu);
+            let mut slab = CellSlab::new();
+            let mut refs = Vec::new();
+            seg_b.segment_into(vc(), 9, &sdu, &mut slab, &mut refs);
+            assert_eq!(vec_cells.len(), refs.len(), "len {len}");
+            for (c, &r) in vec_cells.iter().zip(&refs) {
+                assert_eq!(c.as_bytes(), slab.get(r).as_bytes(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn deliver_burst_roundtrip() {
+        let sdu: Vec<u8> = (0..700).map(|i| (i % 250) as u8).collect();
+        let mut seg = Aal34Segmenter::new();
+        let mut slab = CellSlab::new();
+        let mut refs = Vec::new();
+        seg.segment_burst(vc(), 4, &[&sdu, &sdu], &mut slab, &mut refs);
+        let mut r = reasm();
+        let mut out = Vec::new();
+        r.deliver_burst(&refs, &slab, Time::ZERO, &mut out);
+        assert_eq!(out.len(), 2);
+        for o in out {
+            assert_eq!(o.expect("valid frame").data, sdu);
         }
     }
 

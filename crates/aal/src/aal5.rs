@@ -23,7 +23,7 @@
 
 use crate::crc::{crc32, Crc32Accumulator};
 use crate::{ReassembledSdu, ReassemblyError, ReassemblyFailure, ReassemblyOutcome};
-use hni_atm::{Cell, HeaderRepr, VcId, PAYLOAD_SIZE};
+use hni_atm::{Cell, CellRef, CellSlab, HeaderRepr, VcId, PAYLOAD_SIZE};
 use hni_sim::{Duration, Time};
 use std::collections::HashMap;
 
@@ -34,6 +34,12 @@ pub const TRAILER_SIZE: usize = 8;
 pub const MAX_SDU: usize = 65535;
 /// Cells in the largest possible CPCS-PDU.
 pub const MAX_CELLS: usize = (MAX_SDU + TRAILER_SIZE).div_ceil(PAYLOAD_SIZE); // 1366
+
+/// All-zero pad source (the pad is at most 47 octets).
+const ZERO_PAD: [u8; PAYLOAD_SIZE] = [0u8; PAYLOAD_SIZE];
+
+/// Reassembly buffers kept for reuse; beyond this they are dropped.
+const SPARE_POOL_LIMIT: usize = 64;
 
 /// Segment an SDU into ATM cells on `vc`.
 ///
@@ -57,6 +63,55 @@ pub const MAX_CELLS: usize = (MAX_SDU + TRAILER_SIZE).div_ceil(PAYLOAD_SIZE); //
 /// # Panics
 /// If `sdu.len() > MAX_SDU`.
 pub fn segment(vc: VcId, sdu: &[u8], uu: u8) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(crate::AalType::Aal5.cells_for_sdu(sdu.len()));
+    segment_with(vc, sdu, uu, |header, payload| {
+        cells.push(Cell::new(header, payload).expect("UNI header for user VC is always encodable"));
+    });
+    cells
+}
+
+/// Segment an SDU into slab-backed cells on `vc`, appending one
+/// [`CellRef`] handle per cell to `out`.
+///
+/// Byte-identical to [`segment`] — the same core builds both — but on a
+/// warmed-up slab the steady state performs zero heap allocations per
+/// cell. This is the fast-path form the batched pipeline uses.
+pub fn segment_into(vc: VcId, sdu: &[u8], uu: u8, slab: &mut CellSlab, out: &mut Vec<CellRef>) {
+    segment_with(vc, sdu, uu, |header, payload| {
+        let (r, cell) = slab.alloc_mut();
+        cell.set_header(header)
+            .expect("UNI header for user VC is always encodable");
+        cell.payload_mut().copy_from_slice(payload);
+        out.push(r);
+    });
+}
+
+/// Segment a burst of SDUs on `vc` into the slab in one call,
+/// amortizing per-call dispatch the way the paper's hardware assists
+/// amortize per-cell protocol processing. Handles are appended to `out`
+/// in SDU order.
+pub fn segment_burst(
+    vc: VcId,
+    sdus: &[&[u8]],
+    uu: u8,
+    slab: &mut CellSlab,
+    out: &mut Vec<CellRef>,
+) {
+    for sdu in sdus {
+        segment_into(vc, sdu, uu, slab, out);
+    }
+}
+
+/// The segmentation core: computes the CPCS trailer and emits each
+/// 48-octet payload (with its header repr) through `emit`. Both the
+/// `Vec<Cell>` path and the slab path share this, which is what makes
+/// them byte-identical by construction.
+fn segment_with(
+    vc: VcId,
+    sdu: &[u8],
+    uu: u8,
+    mut emit: impl FnMut(&HeaderRepr, &[u8; PAYLOAD_SIZE]),
+) {
     assert!(sdu.len() <= MAX_SDU, "SDU exceeds AAL5 maximum");
     let total = cpcs_pdu_len(sdu.len());
     let n_cells = total / PAYLOAD_SIZE;
@@ -65,7 +120,7 @@ pub fn segment(vc: VcId, sdu: &[u8], uu: u8) -> Vec<Cell> {
     // Build the trailer; CRC covers SDU ∥ pad ∥ first 4 trailer octets.
     let mut crc = Crc32Accumulator::new();
     crc.update(sdu);
-    crc.update(&vec![0u8; pad]);
+    crc.update(&ZERO_PAD[..pad]);
     let mut trailer = [0u8; TRAILER_SIZE];
     trailer[0] = uu;
     trailer[1] = 0; // CPI: must be 0
@@ -75,7 +130,6 @@ pub fn segment(vc: VcId, sdu: &[u8], uu: u8) -> Vec<Cell> {
     let c = crc.finish();
     trailer[4..].copy_from_slice(&c.to_be_bytes());
 
-    let mut cells = Vec::with_capacity(n_cells);
     let mut payload = [0u8; PAYLOAD_SIZE];
     for i in 0..n_cells {
         let start = i * PAYLOAD_SIZE;
@@ -91,12 +145,8 @@ pub fn segment(vc: VcId, sdu: &[u8], uu: u8) -> Vec<Cell> {
             };
         }
         let last = i == n_cells - 1;
-        cells.push(
-            Cell::new(&HeaderRepr::data(vc, last), &payload)
-                .expect("UNI header for user VC is always encodable"),
-        );
+        emit(&HeaderRepr::data(vc, last), &payload);
     }
-    cells
 }
 
 /// Total CPCS-PDU length (a multiple of 48) for an SDU of `len` octets.
@@ -122,6 +172,11 @@ pub struct Aal5Reassembler {
     timeout: Duration,
     completed: u64,
     failed: u64,
+    /// Retired frame buffers kept warm for reuse: a steady-state stream
+    /// of frames allocates nothing per frame once the pool has seen the
+    /// working set. Completed SDUs leave with their buffer; callers on
+    /// the fast path hand it back via [`Aal5Reassembler::recycle`].
+    spare: Vec<Vec<u8>>,
 }
 
 impl Aal5Reassembler {
@@ -134,6 +189,21 @@ impl Aal5Reassembler {
             timeout,
             completed: 0,
             failed: 0,
+            spare: Vec::new(),
+        }
+    }
+
+    /// Hand an SDU buffer (from a delivered [`ReassembledSdu`]) back for
+    /// reuse. Optional — dropping the buffer is always correct — but the
+    /// zero-alloc steady state needs the working set to circulate.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        self.stash(buf);
+    }
+
+    fn stash(&mut self, mut buf: Vec<u8>) {
+        if self.spare.len() < SPARE_POOL_LIMIT {
+            buf.clear();
+            self.spare.push(buf);
         }
     }
 
@@ -165,8 +235,9 @@ impl Aal5Reassembler {
             return None; // OAM/RM cells don't participate in reassembly
         }
         let vc = header.vc();
+        let spare = &mut self.spare;
         let state = self.vcs.entry(vc).or_insert_with(|| VcState {
-            buf: Vec::new(),
+            buf: spare.pop().unwrap_or_default(),
             cells: 0,
             started_at: now,
         });
@@ -176,8 +247,9 @@ impl Aal5Reassembler {
         // Oversize guard: largest legal CPCS-PDU for our max_sdu.
         let limit = cpcs_pdu_len(self.max_sdu);
         if state.buf.len() > limit {
+            let state = self.vcs.remove(&vc).expect("state just inserted");
             let discarded = state.buf.len();
-            self.vcs.remove(&vc);
+            self.stash(state.buf);
             self.failed += 1;
             return Some(Err(ReassemblyFailure {
                 vc,
@@ -193,7 +265,7 @@ impl Aal5Reassembler {
 
         // Final cell: validate the CPCS-PDU.
         let state = self.vcs.remove(&vc).expect("state just inserted");
-        let pdu = state.buf;
+        let mut pdu = state.buf;
         debug_assert!(pdu.len().is_multiple_of(PAYLOAD_SIZE));
 
         let trailer = &pdu[pdu.len() - TRAILER_SIZE..];
@@ -204,32 +276,56 @@ impl Aal5Reassembler {
         let computed = crc32(&pdu[..pdu.len() - 4]);
         if computed != stored_crc {
             self.failed += 1;
+            let discarded = pdu.len();
+            self.stash(pdu);
             return Some(Err(ReassemblyFailure {
                 vc,
                 mid: 0,
                 error: ReassemblyError::Crc32,
-                discarded_octets: pdu.len(),
+                discarded_octets: discarded,
             }));
         }
         // Length must reconstruct the same number of cells: the pad is
         // 0..47, i.e. length + 8 must round up to exactly pdu.len().
         if length > self.max_sdu || cpcs_pdu_len(length) != pdu.len() {
             self.failed += 1;
+            let discarded = pdu.len();
+            self.stash(pdu);
             return Some(Err(ReassemblyFailure {
                 vc,
                 mid: 0,
                 error: ReassemblyError::LengthMismatch,
-                discarded_octets: pdu.len(),
+                discarded_octets: discarded,
             }));
         }
 
         self.completed += 1;
+        // Truncate in place: the SDU leaves with the frame buffer (same
+        // bytes as a copy, no allocation); `recycle` brings it back.
+        pdu.truncate(length);
         Some(Ok(ReassembledSdu {
             vc,
             mid: 0,
-            data: pdu[..length].to_vec(),
+            data: pdu,
             user_to_user: uu,
         }))
+    }
+
+    /// Offer a burst of slab-backed cells, appending every completed SDU
+    /// or failure report to `out` in arrival order. Mid-frame cells
+    /// produce nothing, exactly as with per-cell [`Aal5Reassembler::push`].
+    pub fn deliver_burst(
+        &mut self,
+        refs: &[CellRef],
+        slab: &CellSlab,
+        now: Time,
+        out: &mut Vec<Result<ReassembledSdu, ReassemblyFailure>>,
+    ) {
+        for &r in refs {
+            if let Some(outcome) = self.push(slab.get(r), now) {
+                out.push(outcome);
+            }
+        }
     }
 
     /// Abandon every frame whose first cell arrived more than the timeout
@@ -247,11 +343,13 @@ impl Aal5Reassembler {
             .map(|vc| {
                 let s = self.vcs.remove(&vc).expect("key from iteration");
                 self.failed += 1;
+                let discarded = s.buf.len();
+                self.stash(s.buf);
                 ReassemblyFailure {
                     vc,
                     mid: 0,
                     error: ReassemblyError::Timeout,
-                    discarded_octets: s.buf.len(),
+                    discarded_octets: discarded,
                 }
             })
             .collect()
@@ -462,6 +560,60 @@ mod tests {
         .unwrap();
         assert!(r.push(&cell, Time::ZERO).is_none());
         assert_eq!(r.in_progress(), 0);
+    }
+
+    #[test]
+    fn slab_path_matches_vec_path_byte_for_byte() {
+        for len in [0usize, 1, 40, 41, 96, 500, 9180] {
+            let sdu: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+            let vec_cells = segment(vc(), &sdu, 0x77);
+            let mut slab = CellSlab::new();
+            let mut refs = Vec::new();
+            segment_into(vc(), &sdu, 0x77, &mut slab, &mut refs);
+            assert_eq!(vec_cells.len(), refs.len(), "len {len}");
+            for (c, &r) in vec_cells.iter().zip(&refs) {
+                assert_eq!(c.as_bytes(), slab.get(r).as_bytes(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn deliver_burst_roundtrip_and_recycle() {
+        let sdu: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        let mut slab = CellSlab::new();
+        let mut refs = Vec::new();
+        segment_burst(vc(), &[&sdu, &sdu], 0x01, &mut slab, &mut refs);
+        let mut r = reasm();
+        let mut out = Vec::new();
+        r.deliver_burst(&refs, &slab, Time::ZERO, &mut out);
+        assert_eq!(out.len(), 2);
+        for o in out {
+            let got = o.expect("valid frame");
+            assert_eq!(got.data, sdu);
+            r.recycle(got.data);
+        }
+        assert_eq!(r.completed(), 2);
+    }
+
+    #[test]
+    fn steady_state_reuses_frame_buffers() {
+        let sdu = vec![0x42u8; 1000];
+        let mut slab = CellSlab::new();
+        let mut r = reasm();
+        let mut refs = Vec::new();
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            refs.clear();
+            segment_into(vc(), &sdu, 0, &mut slab, &mut refs);
+            r.deliver_burst(&refs, &slab, Time::ZERO, &mut out);
+            slab.free_all(&refs);
+            let got = out.pop().unwrap().unwrap();
+            assert_eq!(got.data, sdu);
+            r.recycle(got.data);
+        }
+        // Slab warmed on the first frame, then constant.
+        assert_eq!(slab.growth_events(), refs.len() as u64);
+        assert_eq!(r.completed(), 20);
     }
 
     #[test]

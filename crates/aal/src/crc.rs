@@ -134,6 +134,24 @@ mod tests {
         }
     }
 
+    /// Pin the CRC-32 table against published vectors, independently of
+    /// the in-repo reference: AAL5's CRC-32 is the MSB-first form (init
+    /// all-ones, complemented result — the CRC-32/BZIP2 parameters over
+    /// the standard 0x04C11DB7 polynomial).
+    #[test]
+    fn crc32_table_pinned_to_known_good_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xFC89_1918);
+        assert_eq!(crc32_reference(b"123456789"), 0xFC89_1918);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(&[0x00; 40]), 0x8DBC_3797);
+        // Spot entries and the whole-table sum.
+        assert_eq!(CRC32_TABLE[0], 0);
+        assert_eq!(CRC32_TABLE[1], POLY32);
+        assert_eq!(CRC32_TABLE[255], 0xB1F7_40B4);
+        let sum: u64 = CRC32_TABLE.iter().map(|&e| e as u64).sum();
+        assert_eq!(sum, 549_755_813_760);
+    }
+
     #[test]
     fn crc32_accumulator_matches_oneshot() {
         let data = pseudo_bytes(7, 300);

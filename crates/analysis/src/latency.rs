@@ -77,7 +77,7 @@ pub fn unloaded_latency(
     aal: AalType,
     propagation: Duration,
 ) -> LatencyBreakdown {
-    let e = ProtocolEngine::new(mips, partition.clone());
+    let e = ProtocolEngine::new(mips, partition);
     let cells = aal.cells_for_sdu(len).max(1);
 
     let tx_setup = e.task_time(TaskKind::TxPacketSetup);

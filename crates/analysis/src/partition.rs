@@ -58,7 +58,7 @@ pub fn standard_partitions() -> Vec<HwPartition> {
 pub fn partition_rows(partitions: &[HwPartition], mips: f64) -> Vec<PartitionRow> {
     let mut rows = Vec::new();
     for p in partitions {
-        let engine = ProtocolEngine::new(mips, p.clone());
+        let engine = ProtocolEngine::new(mips, p);
         for task in TaskKind::ALL {
             let instr = p.engine_instructions(&engine.costs, task);
             rows.push(PartitionRow {
@@ -80,7 +80,7 @@ pub fn stage_rates(partitions: &[HwPartition], mips: f64, rate: LineRate) -> Vec
     partitions
         .iter()
         .map(|p| {
-            let engine = ProtocolEngine::new(mips, p.clone());
+            let engine = ProtocolEngine::new(mips, p);
             let tx_i = engine.tx_per_cell_instructions();
             let rx_i = engine.rx_per_cell_instructions();
             let tx_rate = if tx_i == 0 {

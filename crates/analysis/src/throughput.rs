@@ -111,7 +111,7 @@ pub fn predict_tx(
     rate: LineRate,
     aal: AalType,
 ) -> ThroughputPrediction {
-    let e = ProtocolEngine::new(mips, partition.clone());
+    let e = ProtocolEngine::new(mips, partition);
     predict(
         len,
         e.tx_per_packet_instructions(),
@@ -133,7 +133,7 @@ pub fn predict_rx(
     rate: LineRate,
     aal: AalType,
 ) -> ThroughputPrediction {
-    let e = ProtocolEngine::new(mips, partition.clone());
+    let e = ProtocolEngine::new(mips, partition);
     predict(
         len,
         e.rx_per_packet_instructions(),
@@ -301,7 +301,7 @@ pub fn predict_tx_with_bubble(
     aal: AalType,
 ) -> f64 {
     use hni_core::engine::{ProtocolEngine, TaskKind};
-    let e = ProtocolEngine::new(mips, partition.clone());
+    let e = ProtocolEngine::new(mips, partition);
     let cells = aal.cells_for_sdu(len).max(1);
     let bursts = if len == 0 { 0 } else { bus.bursts_for(len) };
 
@@ -350,7 +350,7 @@ mod bubble_tests {
             for partition in [HwPartition::paper_split(), HwPartition::full_hardware()] {
                 for len in [64usize, 256, 1024, 4096, 9180, 65000] {
                     let mut cfg = TxConfig::paper(rate);
-                    cfg.partition = partition.clone();
+                    cfg.partition = partition;
                     let sim = run_tx(&cfg, &greedy_workload(15, len, VcId::new(0, 32)));
                     let model =
                         predict_tx_with_bubble(len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal);

@@ -106,6 +106,25 @@ mod tests {
         assert_eq!(crc10_bits(&data, 48 * 8), crc10(&data));
     }
 
+    /// The table is data, and data rots silently: pin its contents
+    /// against the published CRC-10/ATM check value and hand-picked
+    /// entries, independently of the in-repo reference implementation.
+    #[test]
+    fn table_pinned_to_known_good_vectors() {
+        // CRC-10/ATM check value (poly 0x633, no init, no xorout).
+        assert_eq!(crc10(b"123456789"), 0x199);
+        assert_eq!(crc10_reference(b"123456789"), 0x199);
+        assert_eq!(crc10(&[0xFF; 8]), 0x071);
+        assert_eq!(crc10(&[0x00; 4]), 0x000);
+        // Spot entries and a whole-table sum (the xor-fold of a linear
+        // code's table is trivially zero, so sum instead).
+        assert_eq!(CRC10_TABLE[0], 0x000);
+        assert_eq!(CRC10_TABLE[1], POLY10);
+        assert_eq!(CRC10_TABLE[255], 0x0E1);
+        let sum: u32 = CRC10_TABLE.iter().map(|&e| e as u32).sum();
+        assert_eq!(sum, 130_944);
+    }
+
     #[test]
     fn codeword_checks_to_zero() {
         // message ∥ CRC (bit-adjacent) is a codeword.

@@ -243,6 +243,18 @@ mod tests {
         assert_eq!(compute(&[0, 0, 0, 0]), COSET);
     }
 
+    /// Pin the CRC-8 table itself (poly 0x07, MSB-first) — spot entries
+    /// plus the whole-table sum — and a published header vector.
+    #[test]
+    fn table_pinned_to_known_good_vectors() {
+        assert_eq!(CRC8_TABLE[0], 0x00);
+        assert_eq!(CRC8_TABLE[1], 0x07);
+        assert_eq!(CRC8_TABLE[255], 0xF3);
+        let sum: u32 = CRC8_TABLE.iter().map(|&e| e as u32).sum();
+        assert_eq!(sum, 32_640);
+        assert_eq!(compute(&[0x12, 0x34, 0x56, 0x78]), 0x49);
+    }
+
     #[test]
     fn valid_header_has_zero_syndrome() {
         let h4 = [0x12, 0x34, 0x56, 0x78];

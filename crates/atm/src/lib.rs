@@ -16,6 +16,8 @@
 //!   check), AIS/RDI, continuity check; CRC-10 protected.
 //! * [`crc10`] — the CRC-10 shared by OAM trailers and (via re-export)
 //!   the AAL3/4 SAR trailer.
+//! * [`slab`] — a fixed-slot cell arena ([`CellSlab`]/[`CellRef`]) so the
+//!   segmentation → link → reassembly fast path allocates nothing per cell.
 //! * [`vc`] — virtual path/channel identifiers.
 //!
 //! ## Scope
@@ -33,6 +35,7 @@ pub mod gcra;
 pub mod hec;
 pub mod oam;
 pub mod scrambler;
+pub mod slab;
 pub mod vc;
 
 pub use cell::{
@@ -43,4 +46,5 @@ pub use gcra::Gcra;
 pub use hec::{HecReceiver, HecResult, HecRxMode};
 pub use oam::{OamCell, OamError, OamFunction, OamScope, OamType};
 pub use scrambler::{Descrambler, Scrambler};
+pub use slab::{CellRef, CellSlab};
 pub use vc::VcId;

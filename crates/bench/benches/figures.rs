@@ -21,7 +21,7 @@ fn bench_rf1(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             let mut cfg = TxConfig::paper(LineRate::Oc12);
-            cfg.partition = partition.clone();
+            cfg.partition = partition;
             let wl = greedy_workload(10, 9180, VcId::new(0, 32));
             b.iter(|| black_box(run_tx(&cfg, &wl).goodput_bps))
         });

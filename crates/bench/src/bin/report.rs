@@ -9,7 +9,14 @@
 //! cargo run -p hni-bench --bin report --release -- profile r-f1     # folded stacks
 //! cargo run -p hni-bench --bin report --release -- bottleneck r-f1  # attribution
 //! cargo run -p hni-bench --bin report --release -- prom r-f1        # Prometheus text
+//! cargo run -p hni-bench --bin report --release -- perf             # wall-clock bench
+//! cargo run -p hni-bench --bin report --release -- perf --fast out.json
 //! ```
+//!
+//! `perf` times the implementation's hot loops and the serial-vs-
+//! parallel report sweep, writing `BENCH_PERF.json` (or the given
+//! path); `--fast` is the reduced CI smoke. Wall-clock numbers are
+//! hardware-dependent and not golden.
 //!
 //! Ids are case-insensitive and the hyphen is optional (`rf1` ≡ `r-f1`).
 
@@ -90,6 +97,20 @@ fn main() {
         Some("prom") => {
             let id = capability_id_or_exit(&args, "prom", &PROFILE_IDS);
             print_or_exit(prom_report(&id), &id, "prom", &PROFILE_IDS);
+        }
+        Some("perf") => {
+            let fast = args.iter().any(|a| a == "--fast");
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or("BENCH_PERF.json");
+            let report = hni_bench::perf::run_perf(fast);
+            std::fs::write(path, report.to_json())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            print!("{}", report.render());
+            println!("wrote {path}");
         }
         Some(id) => match run_experiment(&normalize_id(id)) {
             Some(out) => println!("{out}"),

@@ -16,7 +16,7 @@ use hni_sonet::LineRate;
 /// Analytic minimum MIPS to sustain the per-cell receive work at
 /// `rate`'s slot rate under `partition`.
 pub fn min_mips_rx(partition: &HwPartition, rate: LineRate) -> f64 {
-    let e = ProtocolEngine::new(1.0, partition.clone());
+    let e = ProtocolEngine::new(1.0, partition);
     e.rx_per_cell_instructions() as f64 * rate.cell_slots_per_second() / 1e6
 }
 
@@ -36,7 +36,7 @@ pub fn sweep() -> Vec<Point> {
     for partition in [HwPartition::all_software(), HwPartition::paper_split()] {
         for &mips in &[12.5, 25.0, 50.0, 100.0, 200.0, 400.0] {
             let mut cfg = RxConfig::paper(LineRate::Oc12);
-            cfg.partition = partition.clone();
+            cfg.partition = partition;
             cfg.mips = mips;
             let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 4, 15, 9180, 1.0);
             let r = run_rx(&cfg, &wl);

@@ -31,9 +31,16 @@ pub struct Point {
 }
 
 /// Run the sweep (`packets` controls run length; 20 is plenty for the
-/// report, benches use fewer).
+/// report, benches use fewer). Points run in parallel under the
+/// `HNI_JOBS` worker pool; the output order is the serial grid order.
 pub fn sweep(packets: usize) -> Vec<Point> {
-    let mut out = Vec::new();
+    sweep_with_jobs(packets, crate::jobs_from_env())
+}
+
+/// [`sweep`] with an explicit worker count — the perf harness times the
+/// serial (`jobs = 1`) and parallel grids against each other.
+pub fn sweep_with_jobs(packets: usize, jobs: usize) -> Vec<Point> {
+    let mut grid = Vec::new();
     for rate in [LineRate::Oc3, LineRate::Oc12] {
         for partition in [
             HwPartition::all_software(),
@@ -41,25 +48,26 @@ pub fn sweep(packets: usize) -> Vec<Point> {
             HwPartition::full_hardware(),
         ] {
             for &len in &SIZES {
-                let mut cfg = TxConfig::paper(rate);
-                cfg.partition = partition.clone();
-                let r = run_tx(&cfg, &greedy_workload(packets, len, VcId::new(0, 32)));
-                let p = predict_tx(len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal);
-                let bubble =
-                    predict_tx_with_bubble(len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal);
-                out.push(Point {
-                    rate,
-                    partition: partition.name,
-                    len,
-                    sim_bps: r.goodput_bps,
-                    analytic_bps: p.achievable_bps,
-                    bubble_bps: bubble,
-                    bottleneck: p.bottleneck,
-                });
+                grid.push((rate, partition, len));
             }
         }
     }
-    out
+    crate::par_sweep_with_jobs(jobs, &grid, |&(rate, partition, len)| {
+        let mut cfg = TxConfig::paper(rate);
+        cfg.partition = partition;
+        let r = run_tx(&cfg, &greedy_workload(packets, len, VcId::new(0, 32)));
+        let p = predict_tx(len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal);
+        let bubble = predict_tx_with_bubble(len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal);
+        Point {
+            rate,
+            partition: partition.name,
+            len,
+            sim_bps: r.goodput_bps,
+            analytic_bps: p.achievable_bps,
+            bubble_bps: bubble,
+            bottleneck: p.bottleneck,
+        }
+    })
 }
 
 /// Capture the transmit-pipeline event trace for the table's canonical

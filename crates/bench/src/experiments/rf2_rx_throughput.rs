@@ -27,30 +27,33 @@ pub struct Point {
     pub delivery_fraction: f64,
 }
 
-/// Sweep receive throughput at full line load, OC-12.
+/// Sweep receive throughput at full line load, OC-12. Points run in
+/// parallel under the `HNI_JOBS` worker pool; the output order is the
+/// serial grid order.
 pub fn sweep(pkts_per_vc: usize) -> Vec<Point> {
-    let mut out = Vec::new();
+    let mut grid = Vec::new();
     for partition in [
         HwPartition::all_software(),
         HwPartition::paper_split(),
         HwPartition::full_hardware(),
     ] {
         for &len in &SIZES {
-            let mut cfg = RxConfig::paper(LineRate::Oc12);
-            cfg.partition = partition.clone();
-            let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 4, pkts_per_vc, len, 1.0);
-            let r = run_rx(&cfg, &wl);
-            out.push(Point {
-                partition: partition.name,
-                len,
-                sim_bps: r.goodput_bps,
-                drop_fraction: (r.dropped_fifo + r.dropped_pool) as f64
-                    / r.cells_offered.max(1) as f64,
-                delivery_fraction: r.delivered_packets as f64 / wl.pkts.len() as f64,
-            });
+            grid.push((partition, len));
         }
     }
-    out
+    crate::par_sweep(&grid, |&(partition, len)| {
+        let mut cfg = RxConfig::paper(LineRate::Oc12);
+        cfg.partition = partition;
+        let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 4, pkts_per_vc, len, 1.0);
+        let r = run_rx(&cfg, &wl);
+        Point {
+            partition: partition.name,
+            len,
+            sim_bps: r.goodput_bps,
+            drop_fraction: (r.dropped_fifo + r.dropped_pool) as f64 / r.cells_offered.max(1) as f64,
+            delivery_fraction: r.delivered_packets as f64 / wl.pkts.len() as f64,
+        }
+    })
 }
 
 /// Capture the receive-pipeline event trace for the table's canonical

@@ -93,19 +93,27 @@ pub fn run() -> String {
         "survival (analytic)",
         "goodput (analytic)",
     ]);
+    let mut grid = Vec::new();
     for &loss in &default_loss_grid() {
         for &len in &[256usize, 9180, 65000] {
             for aal in [AalType::Aal5, AalType::Aal34] {
-                let p = goodput_under_loss(LineRate::Oc12, aal, len, loss);
-                t.row([
-                    format!("{loss:.0e}"),
-                    len.to_string(),
-                    aal.to_string(),
-                    format!("{:.4}", p.frame_survival),
-                    fmt_bps(p.goodput_bps),
-                ]);
+                grid.push((loss, len, aal));
             }
         }
+    }
+    // Analytic points are pure functions of their coordinates — sweep
+    // them in parallel.
+    let points = crate::par_sweep(&grid, |&(loss, len, aal)| {
+        goodput_under_loss(LineRate::Oc12, aal, len, loss)
+    });
+    for (&(loss, len, aal), p) in grid.iter().zip(points) {
+        t.row([
+            format!("{loss:.0e}"),
+            len.to_string(),
+            aal.to_string(),
+            format!("{:.4}", p.frame_survival),
+            fmt_bps(p.goodput_bps),
+        ]);
     }
     // Functional spot-check at a heavy loss rate (kept small for speed).
     let p_model = goodput_under_loss(LineRate::Oc12, AalType::Aal5, 9180, 2e-3).frame_survival;

@@ -68,7 +68,7 @@ pub fn rx_attribution(
     pkts_per_vc: usize,
 ) -> Attribution {
     let mut cfg = RxConfig::paper(LineRate::Oc12);
-    cfg.partition = partition.clone();
+    cfg.partition = *partition;
     cfg.mips = mips;
     let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 4, pkts_per_vc, len, 1.0);
     let mut prof = CycleProfiler::new();

@@ -143,15 +143,20 @@ pub fn measure(loss: f64, n_vcs: usize, pkts_per_vc: usize) -> Point {
 /// than 12 frames per VC — occupancy-threshold admission needs a few
 /// frame lifetimes to regulate after the cold-start cohort, and a run
 /// that ends inside that transient measures the transient, not the
-/// policy.
+/// policy. Points run in parallel under the `HNI_JOBS` worker pool
+/// (each point rebuilds its workload and fault RNG from the grid
+/// coordinates and [`SEED`], so parallel order cannot leak in); the
+/// output order is the serial grid order.
 pub fn sweep() -> Vec<Point> {
-    let mut out = Vec::new();
+    let mut grid = Vec::new();
     for &loss in &LOSSES {
         for &n_vcs in &VCS {
-            out.push(measure(loss, n_vcs, (256 / n_vcs).max(12)));
+            grid.push((loss, n_vcs));
         }
     }
-    out
+    crate::par_sweep(&grid, |&(loss, n_vcs)| {
+        measure(loss, n_vcs, (256 / n_vcs).max(12))
+    })
 }
 
 /// Render the R-R1 report.

@@ -45,20 +45,25 @@ pub fn run() -> String {
         "peak buffers",
         "peak octets",
     ]);
+    let mut grid = Vec::new();
     for &n in &[1usize, 16, 64] {
         for &k in &[1usize, 32] {
-            let peak = measured_peak(n, k);
-            m.row([
-                n.to_string(),
-                if k == 1 {
-                    "per-cell".to_string()
-                } else {
-                    format!("{k}-cell containers")
-                },
-                peak.to_string(),
-                (peak as usize * (k * 48 + 4 + k.div_ceil(8))).to_string(),
-            ]);
+            grid.push((n, k));
         }
+    }
+    // Grid points are independent receive runs — sweep them in parallel.
+    let peaks = crate::par_sweep(&grid, |&(n, k)| measured_peak(n, k));
+    for (&(n, k), peak) in grid.iter().zip(peaks) {
+        m.row([
+            n.to_string(),
+            if k == 1 {
+                "per-cell".to_string()
+            } else {
+                format!("{k}-cell containers")
+            },
+            peak.to_string(),
+            (peak as usize * (k * 48 + 4 + k.div_ceil(8))).to_string(),
+        ]);
     }
     format!(
         "R-T3 — Adaptor reassembly memory\n\n\

@@ -70,8 +70,9 @@ pub fn measure(pacing: bool) -> Point {
 /// Render the table.
 pub fn run() -> String {
     let mut t = Table::new(["pacing", "mean gap (µs)", "jitter sd (µs)", "max gap (µs)"]);
-    for pacing in [false, true] {
-        let p = measure(pacing);
+    // The two configurations are independent transmit runs — sweep them
+    // in parallel.
+    for p in crate::par_sweep(&[false, true], |&pacing| measure(pacing)) {
         t.row([
             if p.pacing { "on" } else { "off" }.to_string(),
             format!("{:.2}", p.mean_us),

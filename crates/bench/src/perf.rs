@@ -1,0 +1,308 @@
+//! Wall-clock perf harness: how fast the *implementation* runs, as
+//! opposed to the simulated-cycle numbers every `R-*` experiment
+//! reports.
+//!
+//! Four hot loops are timed with the criterion shim's calibrated
+//! sampler ([`criterion::measure`]) and normalised to cells per second
+//! of real CPU time:
+//!
+//! * `aal5_sar_slab` — AAL5 segmentation of a 9180-octet SDU burst
+//!   through the zero-alloc [`CellSlab`] fast path.
+//! * `hec_delineation` — HEC checking + cell delineation over a synced
+//!   byte stream.
+//! * `rx_reassembly` — AAL5 reassembly of slab cells via
+//!   `deliver_burst`, with SDU buffers recycled to the spare pool.
+//! * `e2e_cells` — segment → deliver round trip per burst, the full
+//!   steady-state fast path.
+//!
+//! A fifth measurement times the R-F1 report sweep serially
+//! (`jobs = 1`) and under the `HNI_JOBS` worker pool, reporting the
+//! observed speedup **and the machine's core count** — the speedup is a
+//! property of the host, not the code; on a single-core machine it is
+//! ~1× by physics (see README "Performance").
+//!
+//! Results are written as `BENCH_PERF.json` (schema
+//! `hni-bench-perf/1`, hand-rolled writer — the workspace has no JSON
+//! dependency). Wall-clock numbers are hardware-dependent and are NOT
+//! golden: CI validates the schema and the serial/parallel report
+//! equality, never the timings themselves.
+
+use crate::experiments::rf1_tx_throughput;
+use crate::par_sweep::{available_cores, jobs_from_env};
+use criterion::{measure, BenchResult};
+use hni_aal::aal5::{self, Aal5Reassembler};
+use hni_atm::{CellSlab, Delineator, VcId, CELL_SIZE};
+use hni_sim::{Duration, Time};
+
+/// One hot loop's timing, normalised to cell rate.
+pub struct HotLoop {
+    /// The shim's raw stats (median/min/max ns per op).
+    pub result: BenchResult,
+    /// Cells processed per timed op.
+    pub cells_per_op: usize,
+    /// Median cells per second of wall-clock time.
+    pub cells_per_sec: f64,
+}
+
+/// Serial-vs-parallel sweep timing.
+pub struct SweepTiming {
+    /// Median wall time of the serial (`jobs = 1`) R-F1 sweep, ns.
+    pub serial_ns: f64,
+    /// Median wall time under `jobs` workers, ns.
+    pub parallel_ns: f64,
+    /// Worker count used for the parallel run.
+    pub jobs: usize,
+    /// serial / parallel (≥ 1 means the pool helped).
+    pub speedup: f64,
+}
+
+/// The full perf report.
+pub struct PerfReport {
+    /// `"fast"` (CI smoke) or `"full"`.
+    pub mode: &'static str,
+    /// Cores the machine exposes — the ceiling on any speedup.
+    pub cores: usize,
+    /// Timed hot loops.
+    pub hot_loops: Vec<HotLoop>,
+    /// R-F1 sweep serial vs parallel.
+    pub sweep: SweepTiming,
+}
+
+const SDU_LEN: usize = 9180;
+const BURST_SDUS: usize = 8;
+
+fn hot_loop(result: BenchResult, cells_per_op: usize) -> HotLoop {
+    let cells_per_sec = cells_per_op as f64 * 1e9 / result.median_ns.max(1e-9);
+    HotLoop {
+        result,
+        cells_per_op,
+        cells_per_sec,
+    }
+}
+
+/// Run every measurement. `fast` cuts samples and per-sample time so a
+/// CI smoke finishes in seconds; timings then carry more noise, which
+/// is fine — nothing gates on them.
+pub fn run_perf(fast: bool) -> PerfReport {
+    let (samples, sample_s) = if fast { (5, 2e-4) } else { (20, 5e-3) };
+    let vc = VcId::new(0, 32);
+    let cells_per_sdu = hni_aal::AalType::Aal5.cells_for_sdu(SDU_LEN);
+    let burst_cells = cells_per_sdu * BURST_SDUS;
+    let sdu: Vec<u8> = (0..SDU_LEN).map(|i| (i % 251) as u8).collect();
+    let sdus: Vec<&[u8]> = (0..BURST_SDUS).map(|_| sdu.as_slice()).collect();
+
+    // --- AAL5 SAR through the slab fast path ---
+    let mut slab = CellSlab::with_capacity(burst_cells);
+    let mut refs = Vec::with_capacity(burst_cells);
+    let sar = measure("aal5_sar_slab", samples, sample_s, || {
+        refs.clear();
+        aal5::segment_burst(vc, &sdus, 0, &mut slab, &mut refs);
+        slab.free_all(&refs);
+        refs.len()
+    });
+    let sar = hot_loop(sar, burst_cells);
+
+    // --- HEC + delineation over a synced stream ---
+    refs.clear();
+    aal5::segment_burst(vc, &sdus, 0, &mut slab, &mut refs);
+    let mut stream = Vec::with_capacity(refs.len() * CELL_SIZE);
+    for &r in &refs {
+        stream.extend_from_slice(slab.get(r).as_bytes());
+    }
+    let mut delin = Delineator::new();
+    let mut cells = Vec::with_capacity(refs.len());
+    // Acquire SYNC once; the timed loop runs in steady state.
+    delin.push_bytes(&stream, &mut cells);
+    assert!(delin.is_synced(), "delineator must sync on a clean stream");
+    let hec = measure("hec_delineation", samples, sample_s, || {
+        cells.clear();
+        delin.push_bytes(&stream, &mut cells);
+        cells.len()
+    });
+    let hec = hot_loop(hec, burst_cells);
+
+    // --- AAL5 reassembly via deliver_burst (slab path) ---
+    let mut reasm = Aal5Reassembler::new(65_535, Duration::from_ms(100));
+    let mut done = Vec::with_capacity(BURST_SDUS);
+    let rx = measure("rx_reassembly", samples, sample_s, || {
+        done.clear();
+        reasm.deliver_burst(&refs, &slab, Time::ZERO, &mut done);
+        let n = done.len();
+        for sdu in done.drain(..).flatten() {
+            reasm.recycle(sdu.data);
+        }
+        n
+    });
+    let rx = hot_loop(rx, burst_cells);
+    slab.free_all(&refs);
+
+    // --- full segment → deliver round trip ---
+    let e2e = measure("e2e_cells", samples, sample_s, || {
+        refs.clear();
+        aal5::segment_burst(vc, &sdus, 0, &mut slab, &mut refs);
+        done.clear();
+        reasm.deliver_burst(&refs, &slab, Time::ZERO, &mut done);
+        slab.free_all(&refs);
+        for sdu in done.drain(..).flatten() {
+            reasm.recycle(sdu.data);
+        }
+    });
+    let e2e = hot_loop(e2e, burst_cells);
+
+    // --- serial vs parallel R-F1 sweep ---
+    let pkts = if fast { 3 } else { 12 };
+    let sweep_samples = if fast { 3 } else { 7 };
+    let jobs = jobs_from_env().max(2);
+    let serial = measure("sweep_serial", sweep_samples, 0.0, || {
+        rf1_tx_throughput::sweep_with_jobs(pkts, 1).len()
+    });
+    let parallel = measure("sweep_parallel", sweep_samples, 0.0, || {
+        rf1_tx_throughput::sweep_with_jobs(pkts, jobs).len()
+    });
+    let sweep = SweepTiming {
+        serial_ns: serial.median_ns,
+        parallel_ns: parallel.median_ns,
+        jobs,
+        speedup: serial.median_ns / parallel.median_ns.max(1e-9),
+    };
+
+    PerfReport {
+        mode: if fast { "fast" } else { "full" },
+        cores: available_cores(),
+        hot_loops: vec![sar, hec, rx, e2e],
+        sweep,
+    }
+}
+
+/// Format an `f64` for JSON: finite, fixed-point, no NaN/inf leakage.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+impl PerfReport {
+    /// Serialise as the `hni-bench-perf/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"hni-bench-perf/1\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"cores\": {},\n", self.cores));
+        s.push_str("  \"hot_loops\": [\n");
+        for (i, h) in self.hot_loops.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"name\": \"{}\", ", h.result.name));
+            s.push_str(&format!(
+                "\"median_ns_per_op\": {}, ",
+                jnum(h.result.median_ns)
+            ));
+            s.push_str(&format!("\"min_ns_per_op\": {}, ", jnum(h.result.min_ns)));
+            s.push_str(&format!("\"max_ns_per_op\": {}, ", jnum(h.result.max_ns)));
+            s.push_str(&format!("\"samples\": {}, ", h.result.samples));
+            s.push_str(&format!("\"cells_per_op\": {}, ", h.cells_per_op));
+            s.push_str(&format!("\"cells_per_sec\": {}", jnum(h.cells_per_sec)));
+            s.push_str(if i + 1 < self.hot_loops.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"sweep\": {\n");
+        s.push_str("    \"name\": \"r-f1\",\n");
+        s.push_str(&format!(
+            "    \"serial_ns\": {},\n",
+            jnum(self.sweep.serial_ns)
+        ));
+        s.push_str(&format!(
+            "    \"parallel_ns\": {},\n",
+            jnum(self.sweep.parallel_ns)
+        ));
+        s.push_str(&format!("    \"jobs\": {},\n", self.sweep.jobs));
+        s.push_str(&format!("    \"speedup\": {}\n", jnum(self.sweep.speedup)));
+        s.push_str("  }\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary for the terminal.
+    pub fn render(&self) -> String {
+        let mut t = crate::Table::new(["hot loop", "median ns/op", "cells/op", "cells/sec"]);
+        for h in &self.hot_loops {
+            t.row([
+                h.result.name.clone(),
+                format!("{:.0}", h.result.median_ns),
+                h.cells_per_op.to_string(),
+                format!("{:.2e}", h.cells_per_sec),
+            ]);
+        }
+        format!(
+            "Wall-clock perf ({} mode, {} core{})\n\n{}\n\
+             R-F1 sweep: serial {:.1} ms, parallel {:.1} ms at {} jobs → {:.2}x speedup\n\
+             (speedup is bounded by the host's core count; simulated results\n\
+              are byte-identical either way — see README \"Performance\")\n",
+            self.mode,
+            self.cores,
+            if self.cores == 1 { "" } else { "s" },
+            t.render(),
+            self.sweep.serial_ns / 1e6,
+            self.sweep.parallel_ns / 1e6,
+            self.sweep.jobs,
+            self.sweep.speedup,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_perf_runs_and_serialises() {
+        let r = run_perf(true);
+        assert_eq!(r.mode, "fast");
+        assert_eq!(r.hot_loops.len(), 4);
+        for h in &r.hot_loops {
+            assert!(h.cells_per_sec > 0.0, "{}", h.result.name);
+            assert!(h.result.median_ns > 0.0, "{}", h.result.name);
+        }
+        assert!(r.sweep.speedup > 0.0);
+        let json = r.to_json();
+        for key in [
+            "\"schema\": \"hni-bench-perf/1\"",
+            "\"hot_loops\"",
+            "\"cells_per_sec\"",
+            "\"speedup\"",
+            "\"cores\"",
+            "aal5_sar_slab",
+            "hec_delineation",
+            "rx_reassembly",
+            "e2e_cells",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Balanced braces/brackets — the writer is hand-rolled.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+        let text = r.render();
+        assert!(text.contains("speedup"), "{text}");
+    }
+
+    #[test]
+    fn jnum_never_emits_non_finite() {
+        assert_eq!(jnum(f64::NAN), "0.0");
+        assert_eq!(jnum(f64::INFINITY), "0.0");
+        assert_eq!(jnum(1.25), "1.2");
+    }
+}

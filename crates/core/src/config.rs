@@ -84,7 +84,7 @@ impl NicConfig {
         TxConfig {
             rate: self.rate,
             mips: self.mips,
-            partition: self.partition.clone(),
+            partition: self.partition,
             bus: self.bus,
             fifo_cells: self.tx_fifo_cells,
             pacing: self.pacing,
@@ -97,7 +97,7 @@ impl NicConfig {
         RxConfig {
             rate: self.rate,
             mips: self.mips,
-            partition: self.partition.clone(),
+            partition: self.partition,
             bus: self.bus,
             fifo_cells: self.rx_fifo_cells,
             pool: self.pool,

@@ -315,7 +315,7 @@ mod tests {
     fn hni_analysis_total_us(len: usize, prop: Duration) -> f64 {
         use crate::bus::BusConfig;
         use crate::engine::{HwPartition, ProtocolEngine, TaskKind};
-        let e = ProtocolEngine::new(25.0, HwPartition::paper_split());
+        let e = ProtocolEngine::new(25.0, &HwPartition::paper_split());
         let bus = BusConfig::default();
         let cells = AalType::Aal5.cells_for_sdu(len);
         let mut total = e.task_time(TaskKind::TxPacketSetup)

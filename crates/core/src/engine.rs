@@ -253,11 +253,21 @@ impl TaskCosts {
 /// modelled by the hardware component itself (pipelined CRC and HEC
 /// assists keep up with the data path by construction; CAM and DMA have
 /// their own models).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Internally a 13-bit set (one bit per [`TaskKind`]), so the partition
+/// is `Copy`: simulation configs hand it around by value and per-run
+/// engine construction costs nothing — no per-run clone of a task list.
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct HwPartition {
-    hw: Vec<TaskKind>,
+    hw: u16,
     /// Display name for tables.
     pub name: &'static str,
+}
+
+/// The bit assigned to `task` in a partition's task set (declaration
+/// order, matching [`TaskKind::ALL`]).
+const fn task_bit(task: TaskKind) -> u16 {
+    1 << task as u16
 }
 
 impl HwPartition {
@@ -265,7 +275,7 @@ impl HwPartition {
     /// assists exist.
     pub fn all_software() -> Self {
         HwPartition {
-            hw: vec![],
+            hw: 0,
             name: "all-software",
         }
     }
@@ -275,15 +285,13 @@ impl HwPartition {
     /// list management, validation, completion) in engine software.
     pub fn paper_split() -> Self {
         HwPartition {
-            hw: vec![
-                TaskKind::TxCellCrc,
-                TaskKind::TxHec,
-                TaskKind::RxHec,
-                TaskKind::RxCellCrc,
-                TaskKind::RxVciLookup,
-                TaskKind::TxDmaBurst,
-                TaskKind::RxDmaBurst,
-            ],
+            hw: task_bit(TaskKind::TxCellCrc)
+                | task_bit(TaskKind::TxHec)
+                | task_bit(TaskKind::RxHec)
+                | task_bit(TaskKind::RxCellCrc)
+                | task_bit(TaskKind::RxVciLookup)
+                | task_bit(TaskKind::TxDmaBurst)
+                | task_bit(TaskKind::RxDmaBurst),
             name: "paper-split",
         }
     }
@@ -291,11 +299,12 @@ impl HwPartition {
     /// Everything per-cell in hardware; the engine only touches packets.
     /// The upper bound a full-custom datapath would approach.
     pub fn full_hardware() -> Self {
+        let hw = TaskKind::ALL
+            .into_iter()
+            .filter(|t| !t.is_per_packet())
+            .fold(0, |acc, t| acc | task_bit(t));
         HwPartition {
-            hw: TaskKind::ALL
-                .into_iter()
-                .filter(|t| !t.is_per_packet())
-                .collect(),
+            hw,
             name: "full-hardware",
         }
     }
@@ -304,16 +313,19 @@ impl HwPartition {
     /// (for ablation studies walking the design space one assist at a
     /// time). The result is named "custom".
     pub fn plus_hardware(mut self, task: TaskKind) -> Self {
-        if !self.hw.contains(&task) {
-            self.hw.push(task);
-        }
+        self.hw |= task_bit(task);
         self.name = "custom";
         self
     }
 
     /// Is `task` implemented in hardware?
     pub fn in_hardware(&self, task: TaskKind) -> bool {
-        self.hw.contains(&task)
+        self.hw & task_bit(task) != 0
+    }
+
+    /// The tasks in hardware, in [`TaskKind::ALL`] order.
+    pub fn hardware_tasks(&self) -> impl Iterator<Item = TaskKind> + '_ {
+        TaskKind::ALL.into_iter().filter(|&t| self.in_hardware(t))
     }
 
     /// Engine instructions `task` costs under this partition.
@@ -323,6 +335,15 @@ impl HwPartition {
         } else {
             costs.instructions(task)
         }
+    }
+}
+
+impl core::fmt::Debug for HwPartition {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HwPartition")
+            .field("hw", &self.hardware_tasks().collect::<Vec<_>>())
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -340,12 +361,14 @@ pub struct ProtocolEngine {
 
 impl ProtocolEngine {
     /// An engine at `mips` with default costs and the given partition.
-    pub fn new(mips: f64, partition: HwPartition) -> Self {
+    /// Takes the partition by reference — constructing an engine per
+    /// simulated run copies a small bitmask, nothing more.
+    pub fn new(mips: f64, partition: &HwPartition) -> Self {
         assert!(mips > 0.0);
         ProtocolEngine {
             mips,
             costs: TaskCosts::default(),
-            partition,
+            partition: *partition,
         }
     }
 
@@ -430,7 +453,7 @@ mod tests {
 
     #[test]
     fn hardware_tasks_cost_zero() {
-        let e = ProtocolEngine::new(25.0, HwPartition::paper_split());
+        let e = ProtocolEngine::new(25.0, &HwPartition::paper_split());
         assert_eq!(e.task_time(TaskKind::RxCellCrc), Duration::ZERO);
         assert!(e.task_time(TaskKind::RxCellEnqueue) > Duration::ZERO);
     }
@@ -438,15 +461,15 @@ mod tests {
     #[test]
     fn task_time_arithmetic() {
         // 25 MIPS → 40 ns per instruction; enqueue = 15 instr = 600 ns.
-        let e = ProtocolEngine::new(25.0, HwPartition::all_software());
+        let e = ProtocolEngine::new(25.0, &HwPartition::all_software());
         assert_eq!(e.task_time(TaskKind::RxCellEnqueue), Duration::from_ns(600));
     }
 
     #[test]
     fn partitions_are_ordered_by_cell_cost() {
-        let sw = ProtocolEngine::new(25.0, HwPartition::all_software());
-        let split = ProtocolEngine::new(25.0, HwPartition::paper_split());
-        let hw = ProtocolEngine::new(25.0, HwPartition::full_hardware());
+        let sw = ProtocolEngine::new(25.0, &HwPartition::all_software());
+        let split = ProtocolEngine::new(25.0, &HwPartition::paper_split());
+        let hw = ProtocolEngine::new(25.0, &HwPartition::full_hardware());
         assert!(sw.rx_per_cell_instructions() > split.rx_per_cell_instructions());
         assert!(split.rx_per_cell_instructions() > hw.rx_per_cell_instructions());
         assert_eq!(hw.rx_per_cell_instructions(), 0);
@@ -470,7 +493,7 @@ mod tests {
     fn budget_headline_numbers() {
         // The paper-era headline: a 25 MIPS engine has ~17 instructions
         // per 681.6 ns line-rate cell time at 622 Mb/s.
-        let e = ProtocolEngine::new(25.0, HwPartition::paper_split());
+        let e = ProtocolEngine::new(25.0, &HwPartition::paper_split());
         let budget = e.instructions_per_slot(Duration::from_ps(681_584));
         assert!((budget - 17.04).abs() < 0.01, "{budget}");
         // At 155 Mb/s the same engine has ~68.
@@ -483,8 +506,8 @@ mod tests {
         // The architecture's whole argument, as a test: with assists, the
         // per-cell receive work of a 25 MIPS engine fits in an OC-12 cell
         // slot; all-software doesn't fit even at OC-3.
-        let split = ProtocolEngine::new(25.0, HwPartition::paper_split());
-        let sw = ProtocolEngine::new(25.0, HwPartition::all_software());
+        let split = ProtocolEngine::new(25.0, &HwPartition::paper_split());
+        let sw = ProtocolEngine::new(25.0, &HwPartition::all_software());
         let oc12_budget = split.instructions_per_slot(Duration::from_ps(707_799)); // OC-12 payload slot
         let oc3_budget = sw.instructions_per_slot(Duration::from_ps(2_831_197)); // OC-3 payload slot
         assert!((split.rx_per_cell_instructions() as f64) < oc12_budget);

@@ -49,7 +49,7 @@ use crate::config::NicConfig;
 use hni_aal::aal34::{Aal34Reassembler, Aal34Segmenter};
 use hni_aal::aal5::{self, Aal5Reassembler};
 use hni_aal::{AalType, ReassemblyFailure};
-use hni_atm::{Cell, VcId, CELL_SIZE};
+use hni_atm::{Cell, CellRef, CellSlab, VcId, CELL_SIZE};
 use hni_sim::link::apply_bit_errors;
 use hni_sim::{FaultInjector, Time, UnitFate};
 use hni_sonet::{TcReceiver, TcTransmitter};
@@ -122,6 +122,13 @@ pub struct Nic {
     events: VecDeque<NicEvent>,
     // Last time the receive path ran the reassembly-expiry scan.
     last_expiry_scan: Time,
+    // Transmit-side cell arena + handle scratch: segmentation goes
+    // through the slab, so steady-state sends allocate nothing per cell.
+    tx_slab: CellSlab,
+    tx_refs: Vec<CellRef>,
+    // Receive-side scratch for cells emerging from the TC receiver,
+    // reused across line deliveries.
+    rx_cells: Vec<Cell>,
     // Counters.
     sdus_sent: u64,
     cells_sent: u64,
@@ -142,6 +149,9 @@ impl Nic {
             reasm34: Aal34Reassembler::new(cfg.max_sdu, cfg.reassembly_timeout),
             events: VecDeque::new(),
             last_expiry_scan: Time::ZERO,
+            tx_slab: CellSlab::new(),
+            tx_refs: Vec::new(),
+            rx_cells: Vec::new(),
             sdus_sent: 0,
             cells_sent: 0,
             sdus_received: 0,
@@ -193,14 +203,22 @@ impl Nic {
         if sdu.len() > self.cfg.max_sdu {
             return Err(NicError::SduTooLarge);
         }
-        let cells: Vec<Cell> = match self.cfg.aal {
-            AalType::Aal5 => aal5::segment(vc, &sdu, 0),
-            AalType::Aal34 => self.seg34.segment(vc, mid, &sdu),
-        };
-        for c in &cells {
-            self.tc_tx.push_cell(c);
+        // Segment through the cell slab: byte-identical to the Vec path
+        // (same segmentation core) but allocation-free once warmed up.
+        let mut refs = std::mem::take(&mut self.tx_refs);
+        refs.clear();
+        match self.cfg.aal {
+            AalType::Aal5 => aal5::segment_into(vc, &sdu, 0, &mut self.tx_slab, &mut refs),
+            AalType::Aal34 => self
+                .seg34
+                .segment_into(vc, mid, &sdu, &mut self.tx_slab, &mut refs),
+        }
+        for &r in &refs {
+            self.tc_tx.push_cell(self.tx_slab.get(r));
             self.cells_sent += 1;
         }
+        self.tx_slab.free_all(&refs);
+        self.tx_refs = refs;
         self.sdus_sent += 1;
         Ok(())
     }
@@ -301,64 +319,102 @@ impl Nic {
         now: Time,
         tracer: &mut dyn Tracer,
     ) {
-        let mut cells = Vec::new();
+        // The cell scratch is a reused field: no per-delivery allocation
+        // once the working set is warm. Taken out of `self` so the
+        // per-cell handler can borrow the rest of the interface.
+        let mut cells = std::mem::take(&mut self.rx_cells);
+        cells.clear();
         self.tc_rx.push_bytes(octets, &mut cells);
-        for cell in cells {
+        for cell in &cells {
             if tracer.enabled() {
                 // A cell only emerges from the TC receiver once its HEC
                 // passed inside cell delineation.
                 tracer.record(TraceEvent::instant(now, Stage::RxHec));
             }
-            let Ok(header) = cell.header() else { continue };
-            let vc = header.vc();
-            let miss = matches!(self.cam.lookup(vc), CamResult::Miss);
-            if tracer.enabled() {
-                tracer.record(
-                    TraceEvent::instant(now, Stage::RxCamLookup)
-                        .vc(vc.cam_key())
-                        .arg(u64::from(!miss)),
-                );
-            }
-            if miss {
-                self.unknown_vc_cells += 1;
-                self.events.push_back(NicEvent::UnknownVc(vc));
-                continue;
-            }
-            if matches!(
-                header.pti,
-                hni_atm::Pti::OamEndToEnd | hni_atm::Pti::OamSegment
-            ) {
-                self.handle_oam(vc, &cell);
-                continue;
-            }
-            let outcome = match self.cfg.aal {
-                AalType::Aal5 => self.reasm5.push(&cell, now),
-                AalType::Aal34 => self.reasm34.push(&cell, now),
-            };
-            match outcome {
-                None => {}
-                Some(Ok(sdu)) => {
-                    self.sdus_received += 1;
-                    if tracer.enabled() {
-                        tracer.record(
-                            TraceEvent::instant(now, Stage::RxReasmComplete)
-                                .vc(sdu.vc.cam_key())
-                                .arg(sdu.data.len() as u64),
-                        );
-                    }
-                    self.events.push_back(NicEvent::PacketReceived {
-                        vc: sdu.vc,
-                        mid: sdu.mid,
-                        data: sdu.data,
-                        uu: sdu.user_to_user,
-                    });
-                }
-                Some(Err(failure)) => {
-                    self.events.push_back(NicEvent::ReceiveError(failure));
-                }
-            }
+            self.receive_cell(cell, now, tracer);
+        }
+        self.rx_cells = cells;
+        self.maybe_expire(now);
+    }
+
+    /// Accept a burst of slab-backed cells directly at the ATM layer
+    /// (past SONET framing and delineation) — the batched receive entry
+    /// point: one dispatch per burst instead of one per cell, the
+    /// software analogue of the paper's burst-oriented hardware moves.
+    /// Cell handling (CAM, OAM, reassembly, events, expiry cadence) is
+    /// the per-cell path, so results are byte-identical to feeding the
+    /// cells one at a time.
+    pub fn rx_burst(&mut self, refs: &[CellRef], slab: &CellSlab, now: Time) {
+        self.rx_burst_instrumented(refs, slab, now, &mut NullTracer)
+    }
+
+    /// [`Nic::rx_burst`] with a tracer observing the same per-cell
+    /// boundaries as the line-octet path, so profiles charge batched
+    /// activity identically.
+    pub fn rx_burst_instrumented(
+        &mut self,
+        refs: &[CellRef],
+        slab: &CellSlab,
+        now: Time,
+        tracer: &mut dyn Tracer,
+    ) {
+        for &r in refs {
+            self.receive_cell(slab.get(r), now, tracer);
         }
         self.maybe_expire(now);
+    }
+
+    /// The per-cell receive body shared by every entry point: CAM
+    /// lookup, OAM handling, reassembly, event generation.
+    fn receive_cell(&mut self, cell: &Cell, now: Time, tracer: &mut dyn Tracer) {
+        let Ok(header) = cell.header() else { return };
+        let vc = header.vc();
+        let miss = matches!(self.cam.lookup(vc), CamResult::Miss);
+        if tracer.enabled() {
+            tracer.record(
+                TraceEvent::instant(now, Stage::RxCamLookup)
+                    .vc(vc.cam_key())
+                    .arg(u64::from(!miss)),
+            );
+        }
+        if miss {
+            self.unknown_vc_cells += 1;
+            self.events.push_back(NicEvent::UnknownVc(vc));
+            return;
+        }
+        if matches!(
+            header.pti,
+            hni_atm::Pti::OamEndToEnd | hni_atm::Pti::OamSegment
+        ) {
+            self.handle_oam(vc, cell);
+            return;
+        }
+        let outcome = match self.cfg.aal {
+            AalType::Aal5 => self.reasm5.push(cell, now),
+            AalType::Aal34 => self.reasm34.push(cell, now),
+        };
+        match outcome {
+            None => {}
+            Some(Ok(sdu)) => {
+                self.sdus_received += 1;
+                if tracer.enabled() {
+                    tracer.record(
+                        TraceEvent::instant(now, Stage::RxReasmComplete)
+                            .vc(sdu.vc.cam_key())
+                            .arg(sdu.data.len() as u64),
+                    );
+                }
+                self.events.push_back(NicEvent::PacketReceived {
+                    vc: sdu.vc,
+                    mid: sdu.mid,
+                    data: sdu.data,
+                    uu: sdu.user_to_user,
+                });
+            }
+            Some(Err(failure)) => {
+                self.events.push_back(NicEvent::ReceiveError(failure));
+            }
+        }
     }
 
     /// Enforce the reassembly timeout; call periodically with the clock.
@@ -392,6 +448,13 @@ impl Nic {
     /// Next pending event, if any.
     pub fn poll(&mut self) -> Option<NicEvent> {
         self.events.pop_front()
+    }
+
+    /// Hand a delivered SDU buffer (from [`NicEvent::PacketReceived`])
+    /// back to the receive path for reuse. Optional; closing the loop
+    /// makes the steady-state receive path allocation-free per frame.
+    pub fn recycle_sdu_buffer(&mut self, buf: Vec<u8>) {
+        self.reasm5.recycle(buf);
     }
 
     /// SDUs accepted for transmission.
@@ -642,6 +705,41 @@ mod tests {
         assert!(ok > 0, "some frames must survive 5% loss");
         assert!(failed > 0, "some frames must die to loss/corruption");
         assert!(ok + failed <= n_frames + lost + dup);
+    }
+
+    #[test]
+    fn rx_burst_matches_per_cell_line_path() {
+        // Same traffic through (a) the SONET line path and (b) the
+        // batched rx_burst entry point: identical packets, events and
+        // counters at the ATM layer and above.
+        let (mut a, mut line_rx, vc) = pair(AalType::Aal5);
+        let (_, mut burst_rx, _) = pair(AalType::Aal5);
+        a.open_vc(vc).unwrap();
+        line_rx.open_vc(vc).unwrap();
+        burst_rx.open_vc(vc).unwrap();
+        pump(&mut a, &mut line_rx, 12);
+
+        let payloads: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                (0..800 + i * 37)
+                    .map(|j| ((i * 31 + j) % 256) as u8)
+                    .collect()
+            })
+            .collect();
+        let mut slab = CellSlab::new();
+        let mut refs = Vec::new();
+        for p in &payloads {
+            a.send(vc, p.clone(), Time::ZERO).unwrap();
+            aal5::segment_into(vc, p, 0, &mut slab, &mut refs);
+        }
+        let line_evs = pump(&mut a, &mut line_rx, 10);
+        burst_rx.rx_burst(&refs, &slab, Time::ZERO);
+        let mut burst_evs = Vec::new();
+        while let Some(e) = burst_rx.poll() {
+            burst_evs.push(e);
+        }
+        assert_eq!(line_evs, burst_evs);
+        assert_eq!(line_rx.sdus_received(), burst_rx.sdus_received());
     }
 
     #[test]

@@ -535,7 +535,7 @@ fn run_rx_inner(
     tracer: &mut dyn Tracer,
     profiler: &mut dyn Profiler,
 ) -> RxReport {
-    let engine = ProtocolEngine::new(cfg.mips, cfg.partition.clone());
+    let engine = ProtocolEngine::new(cfg.mips, &cfg.partition);
     let mut bus = Bus::with_faults(cfg.bus, cfg.bus_faults);
     let mut pool = BufferPool::with_policy(cfg.pool, cfg.policy);
     let mut q: EventQueue<REv> = EventQueue::new();

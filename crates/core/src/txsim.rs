@@ -237,7 +237,7 @@ fn run_tx_inner(
     tracer: &mut dyn Tracer,
     profiler: &mut dyn Profiler,
 ) -> TxReport {
-    let engine = ProtocolEngine::new(cfg.mips, cfg.partition.clone());
+    let engine = ProtocolEngine::new(cfg.mips, &cfg.partition);
     let mut bus = Bus::new(cfg.bus);
     let slot = cfg.rate.cell_slot_time();
 

@@ -101,6 +101,28 @@ impl Link {
         }
     }
 
+    /// Transmit a batch of equal-size units back to back, offered at
+    /// `now`, appending one [`LinkDelivery`] per unit to `out` in offer
+    /// order.
+    ///
+    /// Semantically identical to calling [`Link::send`] in a loop — the
+    /// units still serialize one after another and each draws its own
+    /// fate — but lets burst-oriented callers move a whole cell batch
+    /// across the link in one call without an intermediate `Vec` per
+    /// cell.
+    pub fn send_burst(
+        &mut self,
+        now: Time,
+        bits_per_unit: u64,
+        units: usize,
+        out: &mut Vec<LinkDelivery>,
+    ) {
+        out.reserve(units);
+        for _ in 0..units {
+            out.push(self.send(now, bits_per_unit));
+        }
+    }
+
     /// Units offered to the link so far.
     pub fn sent_units(&self) -> u64 {
         self.injector.units()
@@ -300,6 +322,29 @@ mod tests {
         // Out-of-range positions are ignored.
         apply_bit_errors(&mut buf, &[100]);
         assert_eq!(buf, [0x80, 0x81]);
+    }
+
+    #[test]
+    fn send_burst_matches_serial_sends() {
+        let serial = {
+            let mut l = Link::new(
+                1e9,
+                Duration::from_us(10),
+                FaultPlan::loss(0.2),
+                Rng::new(7),
+            );
+            (0..50).map(|_| l.send(Time::ZERO, 424)).collect::<Vec<_>>()
+        };
+        let mut l = Link::new(
+            1e9,
+            Duration::from_us(10),
+            FaultPlan::loss(0.2),
+            Rng::new(7),
+        );
+        let mut burst = Vec::new();
+        l.send_burst(Time::ZERO, 424, 50, &mut burst);
+        assert_eq!(burst, serial);
+        assert_eq!(l.sent_units(), 50);
     }
 
     #[test]

@@ -124,6 +124,10 @@ pub struct TcReceiver {
     frame_errors: u64,
     data_cells: u64,
     idle_cells: u64,
+    /// Reusable frame scratch (outer Vec capacity persists across calls).
+    frames: Vec<Vec<u8>>,
+    /// Reusable delineated-cell scratch.
+    cells: Vec<Cell>,
 }
 
 impl TcReceiver {
@@ -137,6 +141,8 @@ impl TcReceiver {
             frame_errors: 0,
             data_cells: 0,
             idle_cells: 0,
+            frames: Vec::new(),
+            cells: Vec::new(),
         }
     }
 
@@ -168,11 +174,13 @@ impl TcReceiver {
     /// Feed received line octets; recovered data cells are appended to
     /// `out`.
     pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<Cell>) {
-        let mut frames = Vec::new();
+        let mut frames = std::mem::take(&mut self.frames);
+        frames.clear();
         self.aligner.push(bytes, &mut frames);
-        let mut cells = Vec::new();
-        for frame in frames {
-            match self.parser.parse(&frame) {
+        let mut cells = std::mem::take(&mut self.cells);
+        cells.clear();
+        for frame in &frames {
+            match self.parser.parse(frame) {
                 Ok(parsed) => self.delineator.push_bytes(&parsed.payload, &mut cells),
                 Err(_) => {
                     // Skip the frame; the delineator simply sees a gap in
@@ -181,7 +189,7 @@ impl TcReceiver {
                 }
             }
         }
-        for mut cell in cells {
+        for mut cell in cells.drain(..) {
             let mut payload = [0u8; PAYLOAD_SIZE];
             payload.copy_from_slice(cell.payload());
             self.descrambler.descramble(&mut payload);
@@ -193,6 +201,8 @@ impl TcReceiver {
                 out.push(cell);
             }
         }
+        self.frames = frames;
+        self.cells = cells;
     }
 }
 

@@ -49,7 +49,7 @@ fn main() {
     let mut hw: Vec<TaskKind> = Vec::new();
     loop {
         let p = partition_with(&hw);
-        let engine = ProtocolEngine::new(mips, p);
+        let engine = ProtocolEngine::new(mips, &p);
         let instr = engine.rx_per_cell_instructions();
         let max = if instr == 0 {
             f64::INFINITY

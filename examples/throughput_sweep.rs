@@ -36,7 +36,7 @@ fn main() {
             );
             for &len in &sizes {
                 let mut cfg = TxConfig::paper(rate);
-                cfg.partition = partition.clone();
+                cfg.partition = partition;
                 let r = run_tx(&cfg, &greedy_workload(20, len, VcId::new(0, 32)));
                 let p = predict_tx(len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal);
                 println!(

@@ -18,7 +18,7 @@ fn tx_sim_tracks_analysis_across_the_grid() {
         for partition in [HwPartition::all_software(), HwPartition::paper_split()] {
             for len in [1024usize, 9180, 65000] {
                 let mut cfg = TxConfig::paper(rate);
-                cfg.partition = partition.clone();
+                cfg.partition = partition;
                 let sim = run_tx(&cfg, &greedy_workload(15, len, VcId::new(0, 32)));
                 let ana = predict_tx(len, &partition, cfg.mips, &cfg.bus, rate, cfg.aal);
                 let ratio = sim.goodput_bps / ana.achievable_bps;
@@ -104,7 +104,7 @@ fn partition_ordering_consistent_between_methods() {
         HwPartition::full_hardware(),
     ] {
         let mut cfg = TxConfig::paper(LineRate::Oc12);
-        cfg.partition = partition.clone();
+        cfg.partition = partition;
         let sim = run_tx(&cfg, &greedy_workload(15, len, VcId::new(0, 32)));
         let ana = predict_tx(len, &partition, cfg.mips, &cfg.bus, LineRate::Oc12, cfg.aal);
         sim_rank.push((partition.name, sim.goodput_bps));
