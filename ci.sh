@@ -32,7 +32,45 @@ for key in '"schema": "hni-bench-perf/1"' '"hot_loops"' '"cells_per_sec"' \
     grep -q "$key" bench_perf_smoke.json || {
         echo "BENCH_PERF schema: missing $key" >&2; exit 1; }
 done
+grep -q '"telemetry_overhead"' bench_perf_smoke.json || {
+    echo "BENCH_PERF schema: missing telemetry_overhead" >&2; exit 1; }
 rm -f bench_perf_smoke.json
+
+echo "==> expfmt lint: live expositions pass the conformance validator"
+for id in r-f1 r-f2 r-f3; do
+    cargo run -q -p hni-bench --bin report --release -- promlint "$id" > /dev/null || {
+        echo "promlint $id failed" >&2; exit 1; }
+done
+
+echo "==> sentinel smoke: fresh baseline passes, doctored baseline trips"
+rm -f sentinel_smoke_history.jsonl sentinel_smoke_perf.json
+# Record a baseline, then re-check against it with a generous tolerance
+# (fast-mode timings are noisy; the exact 20%-at-tight-tolerance logic
+# is pinned by the deterministic sentinel unit tests).
+cargo run -q -p hni-bench --bin report --release -- \
+    perf --fast sentinel_smoke_perf.json --history sentinel_smoke_history.jsonl > /dev/null
+cargo run -q -p hni-bench --bin report --release -- \
+    perf --fast sentinel_smoke_perf.json --history sentinel_smoke_history.jsonl \
+    --check --tolerance 3.0 > /dev/null || {
+    echo "sentinel: fresh baseline should pass --check" >&2; exit 1; }
+# Doctor the baseline 100x faster than reality: the check must fail 2.
+sed 's/"median_ns":\([0-9]*\)\./"median_ns":0.\1/g' \
+    sentinel_smoke_history.jsonl > sentinel_smoke_doctored.jsonl
+if cargo run -q -p hni-bench --bin report --release -- \
+    perf --fast sentinel_smoke_perf.json --history sentinel_smoke_doctored.jsonl \
+    --check --tolerance 0.2 > /dev/null 2>&1; then
+    echo "sentinel: doctored baseline must trip --check" >&2; exit 1
+fi
+rm -f sentinel_smoke_history.jsonl sentinel_smoke_doctored.jsonl sentinel_smoke_perf.json
+
+echo "==> sampled trace identical across HNI_JOBS (1-in-1024, pinned seed)"
+HNI_JOBS=1 cargo run -q -p hni-bench --bin report --release -- \
+    trace r-f1 --sample 1024 --seed 7 > sampled_trace_j1.jsonl
+HNI_JOBS=4 cargo run -q -p hni-bench --bin report --release -- \
+    trace r-f1 --sample 1024 --seed 7 > sampled_trace_j4.jsonl
+cmp sampled_trace_j1.jsonl sampled_trace_j4.jsonl || {
+    echo "sampled trace diverged across worker counts" >&2; exit 1; }
+rm -f sampled_trace_j1.jsonl sampled_trace_j4.jsonl
 
 echo "==> parallel report == serial report (HNI_JOBS 1 vs 4, pinned seeds)"
 HNI_JOBS=1 cargo run -q -p hni-bench --bin report --release -- r-t4 > par_eq_serial.txt

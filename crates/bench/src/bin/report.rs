@@ -5,25 +5,42 @@
 //! cargo run -p hni-bench --bin report --release -- r-f1     # one experiment
 //! cargo run -p hni-bench --bin report --release -- list     # ids + capabilities
 //! cargo run -p hni-bench --bin report --release -- --trace r-f3      # JSONL trace
+//! cargo run -p hni-bench --bin report --release -- trace r-f3 --sample 1024
 //! cargo run -p hni-bench --bin report --release -- metrics r-f3      # metrics dump
 //! cargo run -p hni-bench --bin report --release -- profile r-f1     # folded stacks
 //! cargo run -p hni-bench --bin report --release -- bottleneck r-f1  # attribution
 //! cargo run -p hni-bench --bin report --release -- prom r-f1        # Prometheus text
+//! cargo run -p hni-bench --bin report --release -- hist r-f3        # latency bands
+//! cargo run -p hni-bench --bin report --release -- topvc r-f2      # per-VC top-K
+//! cargo run -p hni-bench --bin report --release -- promlint r-f1   # expfmt check
 //! cargo run -p hni-bench --bin report --release -- perf             # wall-clock bench
 //! cargo run -p hni-bench --bin report --release -- perf --fast out.json
+//! cargo run -p hni-bench --bin report --release -- perf --check --tolerance 0.2
 //! ```
 //!
 //! `perf` times the implementation's hot loops and the serial-vs-
 //! parallel report sweep, writing `BENCH_PERF.json` (or the given
 //! path); `--fast` is the reduced CI smoke. Wall-clock numbers are
-//! hardware-dependent and not golden.
+//! hardware-dependent and not golden — but `perf --check` compares the
+//! run against the last same-mode record in `BENCH_HISTORY.jsonl`
+//! (`--history <path>` to override) and exits 2 if any hot loop
+//! regressed beyond `--tolerance` (default 0.2 = 20%). The record is
+//! appended to the history only when no check was requested or the
+//! check passed, so a regressed run never becomes the new baseline.
+//!
+//! `trace` accepts `--sample <N>` (with optional `--seed <S>`) to thin
+//! the JSONL deterministically — the kept set is a pure function of
+//! each event's (vc, pkt, cell) identity, so it is byte-identical
+//! across reruns and `HNI_JOBS` worker counts.
 //!
 //! Ids are case-insensitive and the hyphen is optional (`rf1` ≡ `r-f1`).
 
 use hni_bench::{
-    bottleneck_report, folded_report, metrics_experiment, normalize_id, prom_report,
-    run_experiment, trace_experiment, EXPERIMENT_IDS, PROFILE_IDS, TRACEABLE_IDS,
+    bottleneck_report, folded_report, hist_report, metrics_experiment, normalize_id, prom_report,
+    run_experiment, sampled_trace_experiment, topvc_report, trace_experiment, EXPERIMENT_IDS,
+    HIST_IDS, PROFILE_IDS, TOPVC_IDS, TRACEABLE_IDS,
 };
+use hni_telemetry::SentinelRecord;
 
 /// Resolve `args[1]` as the id a capability subcommand operates on, or
 /// exit 2 with a usage line naming the ids that support it.
@@ -48,6 +65,18 @@ fn print_or_exit(out: Option<String>, id: &str, what: &str, supported: &[&str]) 
     }
 }
 
+/// Parse `--flag <value>` as a number, exiting 2 on malformed input.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let idx = args.iter().position(|a| a == flag)?;
+    match args.get(idx + 1).and_then(|v| v.parse().ok()) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("{flag} needs a numeric value");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -66,6 +95,12 @@ fn main() {
                 if PROFILE_IDS.contains(&id) {
                     caps.extend(["profile", "bottleneck", "prom"]);
                 }
+                if HIST_IDS.contains(&id) {
+                    caps.push("hist");
+                }
+                if TOPVC_IDS.contains(&id) {
+                    caps.push("topvc");
+                }
                 if caps.is_empty() {
                     println!("{id}");
                 } else {
@@ -75,8 +110,15 @@ fn main() {
         }
         Some("--trace" | "trace") => {
             let id = capability_id_or_exit(&args, "trace", &TRACEABLE_IDS);
+            let events = match flag_value::<u64>(&args, "--sample") {
+                Some(one_in) => {
+                    let seed = flag_value::<u64>(&args, "--seed").unwrap_or(0);
+                    sampled_trace_experiment(&id, one_in, seed)
+                }
+                None => trace_experiment(&id),
+            };
             print_or_exit(
-                trace_experiment(&id).map(|ev| hni_telemetry::jsonl::to_jsonl(&ev)),
+                events.map(|ev| hni_telemetry::jsonl::to_jsonl(&ev)),
                 &id,
                 "trace",
                 &TRACEABLE_IDS,
@@ -98,19 +140,110 @@ fn main() {
             let id = capability_id_or_exit(&args, "prom", &PROFILE_IDS);
             print_or_exit(prom_report(&id), &id, "prom", &PROFILE_IDS);
         }
+        Some("hist") => {
+            let id = capability_id_or_exit(&args, "hist", &HIST_IDS);
+            print_or_exit(hist_report(&id), &id, "hist", &HIST_IDS);
+        }
+        Some("topvc") => {
+            let id = capability_id_or_exit(&args, "topvc", &TOPVC_IDS);
+            print_or_exit(topvc_report(&id), &id, "topvc", &TOPVC_IDS);
+        }
+        Some("promlint") => {
+            // Run every live exposition the id supports (`prom` profile
+            // gauges, `hist` histogram families) through the expfmt
+            // conformance validator; exit 2 on the first violation.
+            let id = capability_id_or_exit(&args, "promlint", &PROFILE_IDS);
+            let mut checked = 0usize;
+            if let Some(text) = prom_report(&id) {
+                lint_or_exit(&id, "prom", &text);
+                checked += 1;
+            }
+            if let Some(out) = hist_report(&id) {
+                // The hist report is a table followed by the exposition.
+                if let Some(start) = out.find("# HELP") {
+                    lint_or_exit(&id, "hist", &out[start..]);
+                    checked += 1;
+                }
+            }
+            if checked == 0 {
+                eprintln!(
+                    "experiment '{id}' exposes no Prometheus text; supported ids: {PROFILE_IDS:?}"
+                );
+                std::process::exit(2);
+            }
+            println!("promlint {id}: {checked} exposition(s) conformant");
+        }
         Some("perf") => {
             let fast = args.iter().any(|a| a == "--fast");
-            let path = args
-                .iter()
-                .skip(1)
-                .find(|a| !a.starts_with("--"))
-                .map(String::as_str)
-                .unwrap_or("BENCH_PERF.json");
+            let check = args.iter().any(|a| a == "--check");
+            let tolerance: f64 = flag_value(&args, "--tolerance").unwrap_or(0.2);
+            let history_path = {
+                let idx = args.iter().position(|a| a == "--history");
+                idx.and_then(|i| args.get(i + 1))
+                    .cloned()
+                    .unwrap_or_else(|| "BENCH_HISTORY.jsonl".to_string())
+            };
+            // First bare operand = output path; skip flags and the
+            // values the value-taking flags swallow.
+            let mut path = "BENCH_PERF.json";
+            let mut i = 1;
+            while i < args.len() {
+                let a = args[i].as_str();
+                if a == "--tolerance" || a == "--history" {
+                    i += 2;
+                } else if a.starts_with("--") {
+                    i += 1;
+                } else {
+                    path = a;
+                    break;
+                }
+            }
             let report = hni_bench::perf::run_perf(fast);
             std::fs::write(path, report.to_json())
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
             print!("{}", report.render());
             println!("wrote {path}");
+
+            let record = report.sentinel_record();
+            let history = std::fs::read_to_string(&history_path).unwrap_or_default();
+            if check {
+                let Some(baseline) =
+                    SentinelRecord::last_in_history(&history, record.mode.as_str())
+                else {
+                    eprintln!(
+                        "perf --check: no '{}'-mode baseline in {history_path}; \
+                         run `report perf{}` once to record one",
+                        record.mode,
+                        if fast { " --fast" } else { "" }
+                    );
+                    std::process::exit(2);
+                };
+                let regs = hni_telemetry::sentinel::check(&baseline, &record, tolerance);
+                if !regs.is_empty() {
+                    eprint!(
+                        "{}",
+                        hni_telemetry::sentinel::render_regressions(&regs, tolerance)
+                    );
+                    eprintln!("perf --check FAILED against {history_path}");
+                    std::process::exit(2);
+                }
+                println!(
+                    "perf --check OK: no hot loop regressed beyond {:.0}% of the last {} baseline",
+                    tolerance * 100.0,
+                    record.mode
+                );
+            }
+            // Append only non-regressed runs: a failing run must never
+            // ratchet the baseline down to its own slower numbers.
+            let mut line = record.to_line();
+            line.push('\n');
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&history_path)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+                .unwrap_or_else(|e| panic!("appending {history_path}: {e}"));
+            println!("appended {history_path}");
         }
         Some(id) => match run_experiment(&normalize_id(id)) {
             Some(out) => println!("{out}"),
@@ -119,5 +252,20 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    }
+}
+
+/// Validate one exposition body, exiting 2 with the violations if it
+/// fails conformance.
+fn lint_or_exit(id: &str, which: &str, text: &str) {
+    if let Err(violations) = hni_telemetry::expfmt::validate(text) {
+        eprintln!(
+            "promlint {id} ({which}): {} violation(s):",
+            violations.len()
+        );
+        for v in violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(2);
     }
 }

@@ -70,6 +70,14 @@ pub fn sweep_with_jobs(packets: usize, jobs: usize) -> Vec<Point> {
     })
 }
 
+/// The canonical steady-state run itself (paper split, OC-12, 20 ×
+/// 9180-octet packets) — the always-on telemetry (latency histogram,
+/// per-VC top-K) rides along in the report.
+pub fn canonical_run() -> hni_core::txsim::TxReport {
+    let cfg = TxConfig::paper(LineRate::Oc12);
+    run_tx(&cfg, &greedy_workload(20, 9180, VcId::new(0, 32)))
+}
+
 /// Capture the transmit-pipeline event trace for the table's canonical
 /// steady-state point: paper split, OC-12, 20 × 9180-octet packets.
 pub fn trace_run() -> Vec<TraceEvent> {

@@ -56,6 +56,15 @@ pub fn sweep(pkts_per_vc: usize) -> Vec<Point> {
     })
 }
 
+/// The canonical run itself (paper split, OC-12 full line load,
+/// 4 VCs × 9180-octet packets) — the always-on telemetry (latency
+/// histogram, per-connection top-K) rides along in the report.
+pub fn canonical_run() -> hni_core::rxsim::RxReport {
+    let cfg = RxConfig::paper(LineRate::Oc12);
+    let wl = RxWorkload::uniform(LineRate::Oc12, AalType::Aal5, 4, 5, 9180, 1.0);
+    run_rx(&cfg, &wl)
+}
+
 /// Capture the receive-pipeline event trace for the table's canonical
 /// point: paper split, OC-12 full line load, 4 VCs × 9180-octet packets.
 pub fn trace_run() -> Vec<TraceEvent> {

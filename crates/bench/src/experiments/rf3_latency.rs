@@ -36,6 +36,18 @@ pub fn trace_run(len: usize) -> Vec<TraceEvent> {
     tracer.into_events()
 }
 
+/// The canonical loaded end-to-end run (20 × 9180-octet packets, the
+/// same point `profile_run` uses) — the always-on telemetry (tx/rx/e2e
+/// latency histograms, per-VC top-K) rides along in the report.
+pub fn canonical_run() -> hni_core::e2esim::E2eReport {
+    run_e2e(
+        &TxConfig::paper(LineRate::Oc12),
+        &RxConfig::paper(LineRate::Oc12),
+        &greedy_workload(20, TRACE_LEN, VcId::new(0, 32)),
+        PROPAGATION,
+    )
+}
+
 /// Cycle-profile a loaded end-to-end run (20 × 9180-octet packets):
 /// unlike the single-packet trace, a steady-state backlog gives every
 /// path resource a meaningful utilization to rank. Returns the profile
@@ -111,11 +123,47 @@ pub fn run() -> String {
             format!("{:.2}", e2e.latency_us.mean()),
         ]);
     }
+    // Percentile waterfall of the loaded canonical run: the unloaded
+    // table above shows means; under a 20-packet backlog the tail is
+    // the story, and the always-on histograms have it for free.
+    let loaded = canonical_run();
+    let mut w = Table::new([
+        "loaded latency",
+        "n",
+        "mean us",
+        "p50<=",
+        "p90<=",
+        "p99<=",
+        "p999<=",
+        "max us",
+    ]);
+    for (stage, h) in [
+        ("tx", &loaded.tx.latency_hist),
+        ("rx", &loaded.rx.latency_hist),
+        ("e2e", &loaded.latency_hist),
+    ] {
+        let p = h.pcts();
+        let us = |ps: u64| format!("{:.2}", ps as f64 / 1e6);
+        w.row([
+            stage.to_string(),
+            p.count.to_string(),
+            format!("{:.2}", p.mean / 1e6),
+            us(p.p50),
+            us(p.p90),
+            us(p.p99),
+            us(p.p999),
+            us(p.max),
+        ]);
+    }
     format!(
         "R-F3 — Unloaded end-to-end latency breakdown (µs), OC-12, paper split\n\
          ('tx sim' = measured descriptor→line latency from the transmit DES;\n\
-          'e2e sim' = full-path DES composition — compare against TOTAL)\n\n{}",
-        t.render()
+          'e2e sim' = full-path DES composition — compare against TOTAL)\n\n{}\n\
+         Loaded percentile waterfall (20 × 9180-octet greedy burst, same path;\n\
+          always-on histograms — p50/p99 bands are log2-bucket upper bounds,\n\
+          max is exact; see EXPERIMENTS.md \"Percentile methodology\"):\n{}",
+        t.render(),
+        w.render()
     )
 }
 

@@ -32,6 +32,14 @@ pub const TRACEABLE_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
 /// (`report profile <id>` / `report bottleneck <id>` / `report prom <id>`).
 pub const PROFILE_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
 
+/// Experiment ids whose canonical runs report always-on latency
+/// histograms (`report hist <id>`).
+pub const HIST_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
+
+/// Experiment ids whose canonical runs report per-VC heavy hitters
+/// (`report topvc <id>`).
+pub const TOPVC_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
+
 /// Canonicalise a user-typed experiment id: lowercase, and accept the
 /// hyphenless shorthand ("RF1", "ro1") for the `r-xN` family.
 pub fn normalize_id(id: &str) -> String {
@@ -96,6 +104,144 @@ pub fn bottleneck_report(id: &str) -> Option<String> {
 pub fn prom_report(id: &str) -> Option<String> {
     let (profile, _) = profile_experiment(id)?;
     Some(hni_telemetry::expfmt::expose(&profile))
+}
+
+/// Render one stage's percentile band as a table row (µs).
+fn pct_row(stage: &str, h: &hni_telemetry::HdrHist) -> [String; 8] {
+    let p = h.pcts();
+    let us = |ps: u64| format!("{:.2}", ps as f64 / 1e6);
+    [
+        stage.to_string(),
+        p.count.to_string(),
+        format!("{:.2}", p.mean / 1e6),
+        us(p.p50),
+        us(p.p90),
+        us(p.p99),
+        us(p.p999),
+        us(p.max),
+    ]
+}
+
+/// Always-on latency-histogram report for an experiment's canonical
+/// run: percentile bands per pipeline stage (µs), plus the same data
+/// as a Prometheus histogram family (picosecond `le` bounds) that the
+/// `promlint` conformance validator can check.
+pub fn hist_report(id: &str) -> Option<String> {
+    let mut t = Table::new([
+        "latency", "n", "mean us", "p50<=", "p90<=", "p99<=", "p999<=", "max us",
+    ]);
+    // (stage label, histogram) pairs exported below the table.
+    let mut series: Vec<(&'static str, hni_telemetry::HdrHist)> = Vec::new();
+    let title = match id {
+        "r-f1" => {
+            let r = experiments::rf1_tx_throughput::canonical_run();
+            series.push(("tx", r.latency_hist));
+            "R-F1 canonical transmit run (descriptor -> last cell on line)"
+        }
+        "r-f2" => {
+            let r = experiments::rf2_rx_throughput::canonical_run();
+            series.push(("rx", r.latency_hist));
+            "R-F2 canonical receive run (first cell -> completion)"
+        }
+        "r-f3" => {
+            let r = experiments::rf3_latency::canonical_run();
+            series.push(("tx", r.tx.latency_hist.clone()));
+            series.push(("rx", r.rx.latency_hist.clone()));
+            series.push(("e2e", r.latency_hist));
+            "R-F3 canonical loaded end-to-end run (descriptor at A -> completion at B)"
+        }
+        _ => return None,
+    };
+    for (stage, h) in &series {
+        t.row(pct_row(stage, h));
+    }
+    let mut prom = String::new();
+    let label_sets: Vec<[(&str, &str); 1]> = series.iter().map(|(s, _)| [("stage", *s)]).collect();
+    let fam: Vec<(&[(&str, &str)], &hni_sim::Histogram)> = series
+        .iter()
+        .zip(&label_sets)
+        .map(|((_, h), ls)| (&ls[..], h.as_histogram()))
+        .collect();
+    hni_telemetry::expfmt::expose_histogram_family(
+        &mut prom,
+        "hni_latency_ps",
+        "always-on packet latency distribution (picoseconds)",
+        &fam,
+    );
+    Some(format!(
+        "{title}\n(percentiles are log2-bucket upper bounds — at most 2x the true\n\
+         order statistic; max is exact; see EXPERIMENTS.md \"Percentile methodology\")\n\n{}\n{prom}",
+        t.render()
+    ))
+}
+
+/// Per-VC heavy-hitter report for an experiment's canonical run: the
+/// space-saving top-K by cell count, with overestimate bounds, plus
+/// the exact sharded totals.
+pub fn topvc_report(id: &str) -> Option<String> {
+    let (title, m) = match id {
+        "r-f1" => (
+            "R-F1 canonical transmit run",
+            experiments::rf1_tx_throughput::canonical_run().vc_cells,
+        ),
+        "r-f2" => (
+            "R-F2 canonical receive run",
+            experiments::rf2_rx_throughput::canonical_run().vc_cells,
+        ),
+        "r-f3" => {
+            let r = experiments::rf3_latency::canonical_run();
+            // End-to-end: the receive side saw every surviving cell.
+            (
+                "R-F3 canonical end-to-end run (receive side)",
+                r.rx.vc_cells,
+            )
+        }
+        _ => return None,
+    };
+    let total = m.shards.total_cells().max(1);
+    let mut t = Table::new(["rank", "vc key", "cells (est)", "overest <=", "share"]);
+    for (i, e) in m.top_cells.top().iter().enumerate() {
+        t.row([
+            (i + 1).to_string(),
+            e.key.to_string(),
+            e.count.to_string(),
+            e.err.to_string(),
+            table::fmt_pct(e.count as f64 / total as f64),
+        ]);
+    }
+    Some(format!(
+        "{title} — per-VC heavy hitters (top-{K} of unbounded VC space, O(K) memory)\n\
+         exact totals: {cells} cells / {bytes} octets across {shards} shards (peak shard {peak})\n\
+         guarantee: any VC with true count > {thr} is in the table;\n\
+         each estimate overshoots its true count by at most its bound\n\n{}",
+        t.render(),
+        K = m.top_cells.k(),
+        cells = m.shards.total_cells(),
+        bytes = m.shards.total_bytes(),
+        shards = hni_telemetry::topk::VC_SHARDS,
+        peak = m.shards.max_shard_cells(),
+        thr = m.top_cells.guaranteed_threshold(),
+    ))
+}
+
+/// [`trace_experiment`] thinned by the deterministic sampler: keeps
+/// events whose (vc, pkt, cell) identity hashes into the 1-in-`one_in`
+/// keep set under `seed`. The decision is a pure function of identity,
+/// so the sampled trace is byte-identical across reruns and
+/// `HNI_JOBS` worker counts.
+pub fn sampled_trace_experiment(
+    id: &str,
+    one_in: u64,
+    seed: u64,
+) -> Option<Vec<hni_telemetry::TraceEvent>> {
+    let events = trace_experiment(id)?;
+    let sampler = hni_telemetry::SamplingTracer::new(hni_telemetry::NullTracer, one_in, seed);
+    Some(
+        events
+            .into_iter()
+            .filter(|e| sampler.keeps(e.vc, e.pkt, e.cell))
+            .collect(),
+    )
 }
 
 /// Capture the structured event trace of one experiment's canonical
@@ -205,6 +351,80 @@ mod tests {
             assert!(bn.contains(&size.to_string()), "size {size} missing:\n{bn}");
         }
         assert!(bn.contains("engine") && bn.contains("link"), "{bn}");
+    }
+
+    #[test]
+    fn hist_ids_render_bands_and_conformant_exposition() {
+        for id in HIST_IDS {
+            let out = hist_report(id).unwrap_or_else(|| panic!("{id} missing hist"));
+            for band in ["p50<=", "p90<=", "p99<=", "p999<=", "max us"] {
+                assert!(out.contains(band), "{id} missing {band}:\n{out}");
+            }
+            // The embedded Prometheus family must pass the conformance
+            // validator (the same one `report promlint` runs).
+            let prom_start = out
+                .find("# HELP")
+                .unwrap_or_else(|| panic!("{id} no exposition"));
+            hni_telemetry::expfmt::validate(&out[prom_start..])
+                .unwrap_or_else(|v| panic!("{id} exposition violations: {v:?}"));
+        }
+        assert!(hist_report("r-t1").is_none());
+    }
+
+    #[test]
+    fn rf3_hist_report_has_all_three_stages() {
+        let out = hist_report("r-f3").unwrap();
+        for stage in [r#"stage="tx""#, r#"stage="rx""#, r#"stage="e2e""#] {
+            assert!(out.contains(stage), "missing {stage}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn topvc_ids_render_heavy_hitters() {
+        for id in TOPVC_IDS {
+            let out = topvc_report(id).unwrap_or_else(|| panic!("{id} missing topvc"));
+            assert!(out.contains("vc key"), "{id}:\n{out}");
+            assert!(out.contains("exact totals:"), "{id}:\n{out}");
+        }
+        // R-F2's canonical run spreads cells across 4 VCs — all tracked.
+        let rx = topvc_report("r-f2").unwrap();
+        assert!(
+            rx.lines()
+                .filter(|l| l.trim_start().starts_with(['1', '2', '3', '4']))
+                .count()
+                >= 4,
+            "expected >=4 ranked VCs:\n{rx}"
+        );
+        assert!(topvc_report("r-t1").is_none());
+    }
+
+    #[test]
+    fn hist_and_topvc_accept_hyphenless_ids() {
+        // Regression: capability ids must pass through the same
+        // normalization as plain experiment ids (`RF1` == `r-f1`).
+        for raw in ["RF1", "rf1"] {
+            let id = normalize_id(raw);
+            assert!(HIST_IDS.contains(&id.as_str()), "{raw} -> {id}");
+            assert!(TOPVC_IDS.contains(&id.as_str()), "{raw} -> {id}");
+            assert!(hist_report(&id).is_some());
+            assert!(topvc_report(&id).is_some());
+        }
+    }
+
+    #[test]
+    fn sampled_trace_is_deterministic_and_thinner() {
+        let full = trace_experiment("r-f1").unwrap();
+        let a = sampled_trace_experiment("r-f1", 64, 0xC0FFEE).unwrap();
+        let b = sampled_trace_experiment("r-f1", 64, 0xC0FFEE).unwrap();
+        assert_eq!(a, b, "sampling must be reproducible");
+        assert!(a.len() < full.len(), "1-in-64 must actually thin the trace");
+        assert!(!a.is_empty(), "some events must survive");
+        // Sampling preserves relative order (it is a pure filter).
+        let mut it = full.iter();
+        for ev in &a {
+            assert!(it.any(|e| e == ev), "sampled event out of order");
+        }
+        assert!(sampled_trace_experiment("r-t1", 64, 0).is_none());
     }
 
     #[test]

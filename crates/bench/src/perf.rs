@@ -33,6 +33,7 @@ use criterion::{measure, BenchResult};
 use hni_aal::aal5::{self, Aal5Reassembler};
 use hni_atm::{CellSlab, Delineator, VcId, CELL_SIZE};
 use hni_sim::{Duration, Time};
+use hni_telemetry::{json, HdrHist, LoopSample, SentinelRecord, VcMetrics};
 
 /// One hot loop's timing, normalised to cell rate.
 pub struct HotLoop {
@@ -66,6 +67,11 @@ pub struct PerfReport {
     pub hot_loops: Vec<HotLoop>,
     /// R-F1 sweep serial vs parallel.
     pub sweep: SweepTiming,
+    /// Always-on-telemetry overhead on the e2e hot loop:
+    /// `e2e_cells_telemetry` median / `e2e_cells` median − 1
+    /// (0.03 means the histograms + top-K cost 3%; the acceptance
+    /// budget is <5% — noisy on `fast` mode, nothing gates on it).
+    pub telemetry_overhead: f64,
 }
 
 const SDU_LEN: usize = 9180;
@@ -149,6 +155,32 @@ pub fn run_perf(fast: bool) -> PerfReport {
     });
     let e2e = hot_loop(e2e, burst_cells);
 
+    // --- the same round trip with the always-on telemetry attached ---
+    // Per cell: one VcMetrics.record_cell (shard counters + top-K last
+    // -hit cache). Per SDU: one HdrHist.record. That is exactly the
+    // cadence the tx/rx simulators pay, so the ratio against the plain
+    // `e2e_cells` loop IS the telemetry plane's overhead.
+    let mut vc_metrics = VcMetrics::default();
+    let mut lat_hist = HdrHist::new();
+    let e2e_tel = measure("e2e_cells_telemetry", samples, sample_s, || {
+        refs.clear();
+        aal5::segment_burst(vc, &sdus, 0, &mut slab, &mut refs);
+        for i in 0..refs.len() {
+            vc_metrics.record_cell(vc.cam_key(), 53);
+            // Keep the index live so the loop cannot be folded away.
+            std::hint::black_box(i);
+        }
+        done.clear();
+        reasm.deliver_burst(&refs, &slab, Time::ZERO, &mut done);
+        slab.free_all(&refs);
+        for (i, sdu) in done.drain(..).flatten().enumerate() {
+            lat_hist.record((i as u64 + 1) * 1_000_000);
+            reasm.recycle(sdu.data);
+        }
+    });
+    let e2e_tel = hot_loop(e2e_tel, burst_cells);
+    let telemetry_overhead = e2e_tel.result.median_ns / e2e.result.median_ns.max(1e-9) - 1.0;
+
     // --- serial vs parallel R-F1 sweep ---
     let pkts = if fast { 3 } else { 12 };
     let sweep_samples = if fast { 3 } else { 7 };
@@ -169,8 +201,9 @@ pub fn run_perf(fast: bool) -> PerfReport {
     PerfReport {
         mode: if fast { "fast" } else { "full" },
         cores: available_cores(),
-        hot_loops: vec![sar, hec, rx, e2e],
+        hot_loops: vec![sar, hec, rx, e2e, e2e_tel],
         sweep,
+        telemetry_overhead,
     }
 }
 
@@ -178,6 +211,15 @@ pub fn run_perf(fast: bool) -> PerfReport {
 fn jnum(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// [`jnum`] at ratio precision (overheads are small numbers).
+fn jnum6(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
     } else {
         "0.0".to_string()
     }
@@ -194,7 +236,8 @@ impl PerfReport {
         s.push_str("  \"hot_loops\": [\n");
         for (i, h) in self.hot_loops.iter().enumerate() {
             s.push_str("    {");
-            s.push_str(&format!("\"name\": \"{}\", ", h.result.name));
+            // One escaper for every JSON writer in the workspace.
+            s.push_str(&format!("\"name\": {}, ", json::quote(&h.result.name)));
             s.push_str(&format!(
                 "\"median_ns_per_op\": {}, ",
                 jnum(h.result.median_ns)
@@ -211,6 +254,10 @@ impl PerfReport {
             });
         }
         s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"telemetry_overhead\": {},\n",
+            jnum6(self.telemetry_overhead)
+        ));
         s.push_str("  \"sweep\": {\n");
         s.push_str("    \"name\": \"r-f1\",\n");
         s.push_str(&format!(
@@ -241,6 +288,8 @@ impl PerfReport {
         }
         format!(
             "Wall-clock perf ({} mode, {} core{})\n\n{}\n\
+             Always-on telemetry overhead (e2e_cells_telemetry vs e2e_cells): {:+.1}%\n\
+             (budget <5% — histograms + per-VC top-K ride the hot loop by default)\n\
              R-F1 sweep: serial {:.1} ms, parallel {:.1} ms at {} jobs → {:.2}x speedup\n\
              (speedup is bounded by the host's core count; simulated results\n\
               are byte-identical either way — see README \"Performance\")\n",
@@ -248,11 +297,35 @@ impl PerfReport {
             self.cores,
             if self.cores == 1 { "" } else { "s" },
             t.render(),
+            self.telemetry_overhead * 100.0,
             self.sweep.serial_ns / 1e6,
             self.sweep.parallel_ns / 1e6,
             self.sweep.jobs,
             self.sweep.speedup,
         )
+    }
+
+    /// This run as a perf-sentinel history record: every hot loop's
+    /// median, keyed by name, plus the serial sweep time. Appended to
+    /// `BENCH_HISTORY.jsonl` by `report perf`; compared against the
+    /// last same-mode record by `report perf --check`.
+    pub fn sentinel_record(&self) -> SentinelRecord {
+        let mut samples: Vec<LoopSample> = self
+            .hot_loops
+            .iter()
+            .map(|h| LoopSample {
+                name: h.result.name.clone(),
+                median_ns: h.result.median_ns,
+            })
+            .collect();
+        samples.push(LoopSample {
+            name: "sweep_serial".into(),
+            median_ns: self.sweep.serial_ns,
+        });
+        SentinelRecord {
+            mode: self.mode.to_string(),
+            samples,
+        }
     }
 }
 
@@ -264,12 +337,20 @@ mod tests {
     fn fast_perf_runs_and_serialises() {
         let r = run_perf(true);
         assert_eq!(r.mode, "fast");
-        assert_eq!(r.hot_loops.len(), 4);
+        assert_eq!(r.hot_loops.len(), 5);
         for h in &r.hot_loops {
             assert!(h.cells_per_sec > 0.0, "{}", h.result.name);
             assert!(h.result.median_ns > 0.0, "{}", h.result.name);
         }
         assert!(r.sweep.speedup > 0.0);
+        // Telemetry overhead is a ratio around zero; `fast` mode is
+        // noisy, so only sanity-bound it (the <5% budget is checked on
+        // full runs by eye and by the sentinel history).
+        assert!(
+            r.telemetry_overhead.is_finite() && r.telemetry_overhead > -1.0,
+            "overhead {}",
+            r.telemetry_overhead
+        );
         let json = r.to_json();
         for key in [
             "\"schema\": \"hni-bench-perf/1\"",
@@ -277,10 +358,12 @@ mod tests {
             "\"cells_per_sec\"",
             "\"speedup\"",
             "\"cores\"",
+            "\"telemetry_overhead\"",
             "aal5_sar_slab",
             "hec_delineation",
             "rx_reassembly",
             "e2e_cells",
+            "e2e_cells_telemetry",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -297,6 +380,13 @@ mod tests {
         );
         let text = r.render();
         assert!(text.contains("speedup"), "{text}");
+        assert!(text.contains("telemetry overhead"), "{text}");
+        // The sentinel record round-trips through its own line format.
+        let rec = r.sentinel_record();
+        assert_eq!(rec.samples.len(), 6, "5 hot loops + sweep_serial");
+        let parsed = SentinelRecord::parse_line(&rec.to_line()).expect("own line parses");
+        assert_eq!(parsed.mode, "fast");
+        assert_eq!(parsed.samples.len(), rec.samples.len());
     }
 
     #[test]

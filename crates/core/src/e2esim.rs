@@ -19,7 +19,7 @@ use crate::rxsim::{
 use crate::txsim::{run_tx_full, TxConfig, TxPacket};
 use hni_aal::AalType;
 use hni_sim::{Duration, FaultPlan, Summary, Time};
-use hni_telemetry::{NullProfiler, NullTracer, Profiler, Tracer};
+use hni_telemetry::{HdrHist, NullProfiler, NullTracer, Profiler, Tracer};
 use std::collections::HashMap;
 
 /// End-to-end results.
@@ -31,6 +31,9 @@ pub struct E2eReport {
     pub delivered: u64,
     /// Descriptor-at-A → completion-at-B latency, µs.
     pub latency_us: Summary,
+    /// End-to-end latency distribution (ps): always-on log₂ histogram
+    /// with p50/p90/p99/p999 bands and exact max.
+    pub latency_hist: HdrHist,
     /// End-to-end goodput, bits/s.
     pub goodput_bps: f64,
     /// The transmit-side report.
@@ -236,10 +239,13 @@ fn assemble_report(
     completions: &[Option<Time>],
 ) -> E2eReport {
     let mut latency = Summary::new();
+    let mut latency_hist = HdrHist::new();
     let mut delivered_octets = 0u64;
     for (i, done) in completions.iter().enumerate() {
         if let Some(t) = done {
-            latency.record_us(t.saturating_since(packets[i].arrival));
+            let lat = t.saturating_since(packets[i].arrival);
+            latency.record_us(lat);
+            latency_hist.record_duration(lat);
             delivered_octets += packets[i].len as u64;
         }
     }
@@ -249,6 +255,7 @@ fn assemble_report(
         offered: packets.len() as u64,
         delivered: rx_report.delivered_packets,
         latency_us: latency,
+        latency_hist,
         goodput_bps: if elapsed > 0.0 {
             delivered_octets as f64 * 8.0 / elapsed
         } else {

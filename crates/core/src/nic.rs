@@ -53,7 +53,7 @@ use hni_atm::{Cell, CellRef, CellSlab, VcId, CELL_SIZE};
 use hni_sim::link::apply_bit_errors;
 use hni_sim::{FaultInjector, Time, UnitFate};
 use hni_sonet::{TcReceiver, TcTransmitter};
-use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer};
+use hni_telemetry::{NullTracer, Stage, TraceEvent, Tracer, VcMetrics};
 use std::collections::VecDeque;
 
 /// What the interface reports up to the host driver.
@@ -134,6 +134,9 @@ pub struct Nic {
     cells_sent: u64,
     sdus_received: u64,
     unknown_vc_cells: u64,
+    // Always-on per-VC receive accounting at bounded cardinality
+    // (sharded exact totals + space-saving top-K heavy hitters).
+    rx_vc_metrics: VcMetrics,
 }
 
 impl Nic {
@@ -156,6 +159,7 @@ impl Nic {
             cells_sent: 0,
             sdus_received: 0,
             unknown_vc_cells: 0,
+            rx_vc_metrics: VcMetrics::new(),
             cfg,
         }
     }
@@ -369,6 +373,10 @@ impl Nic {
     fn receive_cell(&mut self, cell: &Cell, now: Time, tracer: &mut dyn Tracer) {
         let Ok(header) = cell.header() else { return };
         let vc = header.vc();
+        // Always-on per-VC accounting before any disposition: unknown-VC
+        // and OAM cells count toward their VC's volume too.
+        self.rx_vc_metrics
+            .record_cell(vc.cam_key(), CELL_SIZE as u64);
         let miss = matches!(self.cam.lookup(vc), CamResult::Miss);
         if tracer.enabled() {
             tracer.record(
@@ -472,6 +480,11 @@ impl Nic {
     /// Cells dropped for lacking a CAM entry.
     pub fn unknown_vc_cells(&self) -> u64 {
         self.unknown_vc_cells
+    }
+    /// Always-on per-VC receive metrics: exact sharded cell/byte
+    /// totals plus the space-saving top-K heavy hitters.
+    pub fn rx_vc_metrics(&self) -> &VcMetrics {
+        &self.rx_vc_metrics
     }
     /// Receive-side TC statistics.
     pub fn tc_receiver(&self) -> &TcReceiver {

@@ -45,7 +45,8 @@ use hni_aal::AalType;
 use hni_sim::{BusFaultPlan, Duration, EventQueue, FaultInjector, FaultPlan, Summary, Time};
 use hni_sonet::LineRate;
 use hni_telemetry::{
-    Activity, Component, NullProfiler, NullTracer, Profiler, Stage, TraceEvent, Tracer,
+    Activity, Component, HdrHist, NullProfiler, NullTracer, Profiler, Stage, TraceEvent, Tracer,
+    VcMetrics,
 };
 use std::collections::VecDeque;
 
@@ -359,6 +360,11 @@ pub struct RxReport {
     pub pool_mean: f64,
     /// Packet latency (first cell arrival → completion), µs.
     pub packet_latency_us: Summary,
+    /// Packet latency distribution (ps): always-on log₂ histogram with
+    /// p50/p90/p99/p999 bands.
+    pub latency_hist: HdrHist,
+    /// Per-connection cell volume at bounded cardinality (always on).
+    pub vc_cells: VcMetrics,
     /// When the last packet completed ([`Time::ZERO`] if none did).
     pub finished_at: Time,
     /// End of all simulated activity: the later of `finished_at` and
@@ -585,6 +591,8 @@ fn run_rx_inner(
     let mut delivered_octets = 0u64;
     let mut failed_packets = 0u64;
     let mut latency = Summary::new();
+    let mut latency_hist = HdrHist::new();
+    let mut vc_cells = VcMetrics::new();
     let mut finished_at = Time::ZERO;
     // End of *productive* simulated activity (expiry ticks excluded, so
     // a no-op timer never stretches utilization or goodput spans).
@@ -687,6 +695,9 @@ fn run_rx_inner(
                 last_event = now;
                 let a = wl.arrivals[i];
                 let conn = wl.pkts[a.pkt].conn as u32;
+                // Always-on per-VC accounting at the wire (53 octets per
+                // arriving cell); O(K) scan, no allocation, observational.
+                vc_cells.record_cell(conn, 53);
                 if profiler.enabled() {
                     // The cell occupied the line for the slot that ended
                     // at its arrival (saturating for an arrival at t=0).
@@ -965,7 +976,9 @@ fn run_rx_inner(
                             c[p] = Some(now);
                         }
                         if let Some(t0) = pkts[p].first_arrival {
-                            latency.record_us(now.saturating_since(t0));
+                            let lat = now.saturating_since(t0);
+                            latency.record_us(lat);
+                            latency_hist.record_duration(lat);
                         }
                     }
                 }
@@ -1085,6 +1098,8 @@ fn run_rx_inner(
         pool_peak: pool.peak_in_use(),
         pool_mean: pool.mean_in_use(end),
         packet_latency_us: latency,
+        latency_hist,
+        vc_cells,
         finished_at,
         run_end: end,
         ledger,

@@ -36,7 +36,8 @@ use hni_atm::{Gcra, VcId};
 use hni_sim::{Duration, EventQueue, Summary, Time};
 use hni_sonet::LineRate;
 use hni_telemetry::{
-    Activity, Component, NullProfiler, NullTracer, Profiler, Stage, TraceEvent, Tracer,
+    Activity, Component, HdrHist, NullProfiler, NullTracer, Profiler, Stage, TraceEvent, Tracer,
+    VcMetrics,
 };
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -113,6 +114,12 @@ pub struct TxReport {
     pub link_util: f64,
     /// Packet latency (descriptor arrival → last cell on line), µs.
     pub packet_latency_us: Summary,
+    /// Packet latency distribution (ps): always-on log₂ histogram with
+    /// p50/p90/p99/p999 bands — the tail the mean above hides.
+    pub latency_hist: HdrHist,
+    /// Per-VC cell volume at bounded cardinality: exact sharded totals
+    /// plus the space-saving heavy-hitter top-K (always on, O(K)).
+    pub vc_cells: VcMetrics,
     /// Per-VC inter-departure times of cells, µs (jitter analysis).
     pub interdeparture_us: HashMap<VcId, Summary>,
     /// Peak output-FIFO occupancy.
@@ -272,6 +279,8 @@ fn run_tx_inner(
     let mut payload_octets = 0u64;
     let mut finished_at = Time::ZERO;
     let mut packet_latency = Summary::new();
+    let mut latency_hist = HdrHist::new();
+    let mut vc_cells = VcMetrics::new();
     let mut interdeparture: HashMap<VcId, Summary> = HashMap::new();
     let mut slots_elapsed: u64 = 0;
 
@@ -540,6 +549,9 @@ fn run_tx_inner(
                 slots_elapsed += 1;
                 if let Some((ci, is_last, pkt_idx)) = fifo.pop_front() {
                     cells_sent += 1;
+                    // Always-on per-VC accounting: O(K) scan, no alloc,
+                    // purely observational (53 wire octets per cell).
+                    vc_cells.record_cell(ctxs[ci].vc.cam_key(), 53);
                     if profiler.enabled() {
                         // The cell occupied the slot that just elapsed.
                         let from = Time::from_ps(now.as_ps().saturating_sub(slot.as_ps()));
@@ -574,7 +586,9 @@ fn run_tx_inner(
                     if is_last {
                         packets_sent += 1;
                         payload_octets += packets[pkt_idx].len as u64;
-                        packet_latency.record_us(now.saturating_since(packets[pkt_idx].arrival));
+                        let lat = now.saturating_since(packets[pkt_idx].arrival);
+                        packet_latency.record_us(lat);
+                        latency_hist.record_duration(lat);
                     }
                 }
                 // Admit waiting VCs into freed FIFO space.
@@ -643,6 +657,8 @@ fn run_tx_inner(
             0.0
         },
         packet_latency_us: packet_latency,
+        latency_hist,
+        vc_cells,
         interdeparture_us: interdeparture,
         fifo_peak,
     }

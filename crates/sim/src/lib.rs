@@ -42,5 +42,5 @@ pub use faults::{BusFaultPlan, FaultInjector, FaultPlan, FaultProcess, GeParams,
 pub use link::{Link, LinkDelivery};
 pub use queue::BoundedFifo;
 pub use rng::Rng;
-pub use stats::{Counter, Histogram, OccupancyTracker, RateMeter, Summary};
+pub use stats::{Counter, Histogram, OccupancyTracker, RateMeter, Summary, HIST_BUCKETS};
 pub use time::{Duration, Time};

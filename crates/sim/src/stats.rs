@@ -156,7 +156,7 @@ impl fmt::Display for Summary {
 }
 
 /// Number of log₂ buckets in [`Histogram`]: values 0..2⁶³ are covered.
-const HIST_BUCKETS: usize = 64;
+pub const HIST_BUCKETS: usize = 64;
 
 /// Log₂-bucketed histogram of `u64` samples (typically picoseconds).
 ///
@@ -170,6 +170,7 @@ pub struct Histogram {
     buckets: [u64; HIST_BUCKETS],
     count: u64,
     sum: u128,
+    max: u64,
 }
 
 impl Default for Histogram {
@@ -185,6 +186,7 @@ impl Histogram {
             buckets: [0; HIST_BUCKETS],
             count: 0,
             sum: 0,
+            max: 0,
         }
     }
 
@@ -203,6 +205,9 @@ impl Histogram {
         self.buckets[Self::bucket_of(v)] += 1;
         self.count += 1;
         self.sum += v as u128;
+        if v > self.max {
+            self.max = v;
+        }
     }
 
     /// Record a duration (in picoseconds).
@@ -225,6 +230,49 @@ impl Histogram {
         }
     }
 
+    /// Largest sample ever recorded, exactly (0 if empty). The one tail
+    /// statistic log₂ bucketing cannot bound from above is tracked
+    /// outside the buckets, so `max` carries no quantization error.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples, exactly.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The raw log₂ bucket counts (`buckets[i]` holds samples with
+    /// `⌊log₂ v⌋ == i`; bucket 0 also holds `v == 0`). Exposed for
+    /// mergeable exports (Prometheus cumulative buckets).
+    pub fn bucket_counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound (inclusive) of bucket `i`: the largest value that
+    /// lands in it.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (2u64 << i) - 1
+        }
+    }
+
+    /// Fold another histogram into this one. Bucket-wise addition —
+    /// merging the shards of a parallel run is exact (the merged
+    /// histogram equals the histogram of the concatenated samples).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
     /// Upper bound of the bucket containing the `q`-quantile sample
     /// (`q` in `[0,1]`). Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -238,8 +286,7 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                // Upper bound of bucket i.
-                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return Self::bucket_upper_bound(i);
             }
         }
         u64::MAX
@@ -534,6 +581,48 @@ mod tests {
         m.record(Time::from_ms(10), 500);
         assert_eq!(m.bits_per_second(Time::from_ms(1)), 0.0);
         assert_eq!(m.units_per_second(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_max_is_exact_and_merge_is_concatenation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [3u64, 100, 999] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 7, 1_000_000] {
+            b.record(v);
+            all.record(v);
+        }
+        assert_eq!(a.max(), 999);
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.max(), 1_000_000, "merge keeps the larger exact max");
+        assert_eq!(a.bucket_counts(), all.bucket_counts());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_cover_u64() {
+        assert_eq!(Histogram::bucket_upper_bound(0), 1);
+        assert_eq!(Histogram::bucket_upper_bound(6), 127);
+        assert_eq!(Histogram::bucket_upper_bound(63), u64::MAX);
+        // Every value lands in a bucket whose bound is ≥ the value and
+        // < 2× the value (the log₂ quantization error bound).
+        for v in [1u64, 2, 3, 127, 128, 1 << 40, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            let q = h.quantile(1.0);
+            assert!(q >= v, "bound below sample for {v}");
+            if v > 1 && v < (1 << 62) {
+                assert!(q < v.saturating_mul(2), "bound ≥ 2x for {v}");
+            }
+        }
     }
 
     #[test]

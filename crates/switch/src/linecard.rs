@@ -11,7 +11,7 @@
 use crate::fabric::{Switch, SwitchConfig};
 use hni_sim::Time;
 use hni_sonet::{LineRate, TcReceiver, TcTransmitter};
-use hni_telemetry::{Activity, Component, NullProfiler, Profiler};
+use hni_telemetry::{Activity, Component, HdrHist, NullProfiler, Profiler};
 
 /// One port's SONET termination.
 pub struct LineCard {
@@ -49,6 +49,9 @@ pub struct SwitchNode {
     fabric: Switch,
     cards: Vec<LineCard>,
     rate: LineRate,
+    // Always-on: per-tick output backlog (cells) across all ports —
+    // the queue-depth distribution congestion work is judged by.
+    backlog_hist: HdrHist,
 }
 
 impl SwitchNode {
@@ -59,6 +62,7 @@ impl SwitchNode {
             fabric: Switch::new(cfg),
             cards,
             rate,
+            backlog_hist: HdrHist::new(),
         }
     }
 
@@ -115,6 +119,9 @@ impl SwitchNode {
                 None => break,
             }
         }
+        // Always-on backlog distribution: one sample per tick, O(1),
+        // no allocation; the profiler gauge below stays opt-in.
+        self.backlog_hist.record(self.output_backlog(port) as u64);
         if profiler.enabled() {
             for i in 0..drained {
                 profiler.charge(Component::Switch, Activity::Transfer, now + slot * i, slot);
@@ -127,6 +134,12 @@ impl SwitchNode {
     /// Cells a port's output (fabric queue + TC backlog) still holds.
     pub fn output_backlog(&self, port: usize) -> usize {
         self.fabric.queue_len(port) + self.cards[port].tx.backlog_cells()
+    }
+
+    /// Distribution of output backlogs sampled at every frame tick
+    /// (all ports pooled): p50/p99 queue depth under load.
+    pub fn backlog_hist(&self) -> &HdrHist {
+        &self.backlog_hist
     }
 }
 
@@ -254,6 +267,25 @@ mod tests {
         let slots = p.total(Component::Switch, Activity::Transfer);
         // 10 cells drained → exactly 10 output cell slots of transfer.
         assert_eq!(slots, rate.cell_slot_time() * 10);
+    }
+
+    #[test]
+    fn backlog_hist_samples_every_tick() {
+        let rate = LineRate::Oc3;
+        let mut node = SwitchNode::new(
+            SwitchConfig {
+                ports: 2,
+                output_queue_cells: 128,
+                clp_threshold: 128,
+                efci_threshold: 128,
+            },
+            rate,
+        );
+        assert_eq!(node.backlog_hist().count(), 0);
+        node.frame_tick(0, Time::ZERO);
+        node.frame_tick(1, Time::ZERO);
+        assert_eq!(node.backlog_hist().count(), 2, "one sample per tick");
+        assert_eq!(node.backlog_hist().max(), 0, "idle node has no backlog");
     }
 
     #[test]

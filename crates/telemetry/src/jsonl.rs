@@ -15,15 +15,19 @@
 //! * `arg` — stage-specific argument, omitted when zero
 
 use crate::event::{TraceEvent, NO_ID};
+use crate::json;
 use std::fmt::Write as _;
 
 /// Append one event as a JSON line (no trailing newline).
 pub fn write_event(out: &mut String, ev: &TraceEvent) {
+    // Stage names are static identifiers today, but they pass through
+    // the shared escaper anyway: every JSON string in the workspace
+    // goes through one implementation (see `json`).
     let _ = write!(
         out,
-        "{{\"t_ps\":{},\"stage\":\"{}\",\"ph\":\"{}\"",
+        "{{\"t_ps\":{},\"stage\":{},\"ph\":\"{}\"",
         ev.time.as_ps(),
-        ev.stage.name(),
+        json::quote(ev.stage.name()),
         ev.phase.code()
     );
     if ev.vc != NO_ID {

@@ -35,25 +35,53 @@
 //!   bottleneck (`report bottleneck <id>`).
 //! * [`expfmt`] — a Prometheus-style text exposition of a profile
 //!   snapshot; [`Profile::folded_stacks`] emits flamegraph-collapse
-//!   lines for `report profile <id>`.
+//!   lines for `report profile <id>`; histogram families and a
+//!   conformance [`validate`](expfmt::validate)r for CI linting.
+//!
+//! The always-on telemetry plane (PR 6) adds the pieces that stay on
+//! at line rate with bounded overhead:
+//!
+//! * [`HdrHist`] — fixed 64-bucket log₂ latency histograms with
+//!   p50/p90/p99/p999 bands and exact max, mergeable across workers.
+//! * [`topk`] — per-VC accounting at bounded cardinality: exact
+//!   sharded volume counters plus a space-saving top-K heavy-hitter
+//!   tracker, O(K) memory at million-VC scale.
+//! * [`SamplingTracer`] — deterministic 1-in-N sampled tracing whose
+//!   keep/drop decision is a pure function of cell identity, so
+//!   sampled traces are byte-identical across reruns and worker
+//!   counts.
+//! * [`sentinel`] — the perf-regression sentinel behind
+//!   `report perf --check`: `BENCH_HISTORY.jsonl` records and the
+//!   tolerance comparison.
+//! * [`json`] — the workspace's single JSON string escaper, shared by
+//!   every hand-rolled JSON writer.
 
 pub mod attribution;
 pub mod event;
 pub mod expfmt;
+pub mod hist;
+pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod profiler;
+pub mod sampler;
+pub mod sentinel;
 pub mod timeseries;
+pub mod topk;
 pub mod tracer;
 pub mod waterfall;
 
 pub use attribution::{attribute, Attribution, ResourceShare};
 pub use event::{Phase, Stage, TraceEvent, NO_ID};
+pub use hist::{HdrHist, Pcts};
 pub use metrics::{Metric, MetricsRegistry};
 pub use profiler::{
     Activity, Component, CycleProfiler, GaugeStats, NullProfiler, Profile, Profiler,
 };
+pub use sampler::SamplingTracer;
+pub use sentinel::{LoopSample, Regression, SentinelRecord};
 pub use timeseries::TimeSeries;
+pub use topk::{TopEntry, TopK, VcMetrics, VcShards};
 pub use tracer::{NullTracer, RingTracer, Tracer, VecTracer};
 pub use waterfall::{StageLatency, Waterfall};
 

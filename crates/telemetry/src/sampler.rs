@@ -1,0 +1,212 @@
+//! Deterministic 1-in-N sampled tracing.
+//!
+//! Full-fidelity tracing cannot stay on at line rate: 9180-byte SDUs at
+//! 622 Mb/s are ~1.6M cells/s, and every cell emits several events. The
+//! [`SamplingTracer`] keeps the trace format usable at that rate by
+//! keeping roughly one cell in N — but the keep/drop decision is a
+//! **pure function of the event's identity**, not of arrival order:
+//!
+//! ```text
+//! keep(vc, pkt, cell) = mix(seed ⊕ mix(vc‖pkt) ⊕ mix(cell)) % N == 0
+//! ```
+//!
+//! Because no stream position or RNG state is involved, the same cell is
+//! kept or dropped regardless of which `par_sweep` worker processes it,
+//! how many workers there are (`HNI_JOBS` 1 vs 4), or how many times the
+//! run is repeated — sampled traces are byte-identical across all of
+//! them. Events that carry no cell/packet identity (run-level instants)
+//! are always kept: they are rare and anchor the trace.
+//!
+//! The decision is also *per-packet coherent for whole-cell groups*
+//! only in the sense that a given (vc, pkt, cell) triple always resolves
+//! the same way — every stage a sampled cell passes through appears in
+//! the trace, so spans still pair up.
+
+use crate::event::{TraceEvent, NO_ID};
+use crate::tracer::Tracer;
+
+/// Fixed 64-bit finalizer (splitmix64) — the same keyed mix everywhere,
+/// so sampling is reproducible across platforms and versions.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A tracer adaptor that forwards ~1-in-N events to an inner sink,
+/// chosen by a seeded content hash of the event identity.
+#[derive(Clone, Debug)]
+pub struct SamplingTracer<T: Tracer> {
+    inner: T,
+    seed: u64,
+    one_in: u64,
+    seen: u64,
+    kept: u64,
+}
+
+impl<T: Tracer> SamplingTracer<T> {
+    /// Wrap `inner`, keeping one event identity in `one_in` (clamped to
+    /// ≥ 1; 1 keeps everything) under `seed`.
+    pub fn new(inner: T, one_in: u64, seed: u64) -> Self {
+        Self {
+            inner,
+            seed,
+            one_in: one_in.max(1),
+            seen: 0,
+            kept: 0,
+        }
+    }
+
+    /// Pure keep/drop decision for an identity triple under this
+    /// sampler's seed and rate. Order- and worker-independent.
+    #[inline]
+    pub fn keeps(&self, vc: u32, pkt: u32, cell: u32) -> bool {
+        if self.one_in == 1 {
+            return true;
+        }
+        // Run-level events with no identity always pass: they are rare
+        // (setup, report boundaries) and anchor the sampled trace.
+        if vc == NO_ID && pkt == NO_ID && cell == NO_ID {
+            return true;
+        }
+        let id = ((vc as u64) << 32 | pkt as u64) ^ mix64(cell as u64);
+        mix64(self.seed ^ mix64(id)).is_multiple_of(self.one_in)
+    }
+
+    /// Events offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events forwarded to the inner sink.
+    pub fn kept(&self) -> u64 {
+        self.kept
+    }
+
+    /// The sampling rate denominator.
+    pub fn one_in(&self) -> u64 {
+        self.one_in
+    }
+
+    /// Borrow the inner sink.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Consume the adaptor, returning the inner sink.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Tracer> Tracer for SamplingTracer<T> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        self.seen += 1;
+        if self.keeps(ev.vc, ev.pkt, ev.cell) {
+            self.kept += 1;
+            self.inner.record(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+    use crate::tracer::VecTracer;
+    use hni_sim::Time;
+
+    fn ev(vc: u32, pkt: u32, cell: u32) -> TraceEvent {
+        let mut e = TraceEvent::instant(Time::from_ns(cell as u64), Stage::TxFramer);
+        e.vc = vc;
+        e.pkt = pkt;
+        e.cell = cell;
+        e
+    }
+
+    fn kept_cells(order: &[(u32, u32, u32)], one_in: u64, seed: u64) -> Vec<u32> {
+        let mut t = SamplingTracer::new(VecTracer::new(), one_in, seed);
+        for &(vc, pkt, cell) in order {
+            t.record(ev(vc, pkt, cell));
+        }
+        t.into_inner()
+            .into_events()
+            .iter()
+            .map(|e| e.cell)
+            .collect()
+    }
+
+    #[test]
+    fn decision_is_order_independent() {
+        let forward: Vec<(u32, u32, u32)> = (0..4096).map(|c| (7, c / 192, c)).collect();
+        let mut shuffled = forward.clone();
+        shuffled.reverse();
+        let mut interleaved: Vec<(u32, u32, u32)> = Vec::new();
+        for pair in forward.chunks(2) {
+            interleaved.extend(pair.iter().rev());
+        }
+        let mut a = kept_cells(&forward, 64, 42);
+        let mut b = kept_cells(&shuffled, 64, 42);
+        let mut c = kept_cells(&interleaved, 64, 42);
+        a.sort_unstable();
+        b.sort_unstable();
+        c.sort_unstable();
+        assert_eq!(a, b, "reversal changed the sampled set");
+        assert_eq!(a, c, "interleave changed the sampled set");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn rerun_is_byte_identical() {
+        let order: Vec<(u32, u32, u32)> = (0..2048).map(|c| (3, c / 100, c)).collect();
+        assert_eq!(kept_cells(&order, 128, 9), kept_cells(&order, 128, 9));
+    }
+
+    #[test]
+    fn seed_and_rate_change_the_sample() {
+        let order: Vec<(u32, u32, u32)> = (0..4096).map(|c| (1, 0, c)).collect();
+        let s1 = kept_cells(&order, 64, 1);
+        let s2 = kept_cells(&order, 64, 2);
+        assert_ne!(s1, s2, "different seeds picked identical samples");
+        let all = kept_cells(&order, 1, 1);
+        assert_eq!(all.len(), 4096, "one_in=1 must keep everything");
+    }
+
+    #[test]
+    fn rate_is_roughly_one_in_n() {
+        let order: Vec<(u32, u32, u32)> = (0..100_000).map(|c| (c % 977, c / 977, c)).collect();
+        let kept = kept_cells(&order, 1024, 7).len();
+        // Binomial(100k, 1/1024): mean ~97.7, sd ~9.9. Allow ±5 sd.
+        assert!(
+            (48..=148).contains(&kept),
+            "kept {kept} of 100k at 1-in-1024"
+        );
+    }
+
+    #[test]
+    fn identityless_events_always_pass_and_counters_track() {
+        let mut t = SamplingTracer::new(VecTracer::new(), 1_000_000, 5);
+        t.record(TraceEvent::instant(Time::ZERO, Stage::TxSetup));
+        for c in 0..100 {
+            t.record(ev(1, 0, c));
+        }
+        assert_eq!(t.seen(), 101);
+        assert_eq!(t.kept(), t.inner().len() as u64);
+        assert!(t.kept() >= 1, "identityless instant must be kept");
+        assert_eq!(t.inner().events()[0].stage, Stage::TxSetup);
+    }
+
+    #[test]
+    fn null_inner_stays_disabled() {
+        let t = SamplingTracer::new(crate::tracer::NullTracer, 8, 0);
+        assert!(!t.enabled());
+    }
+}

@@ -1,0 +1,328 @@
+//! Perf-regression sentinel: the record format and comparison logic
+//! behind `report perf --check`.
+//!
+//! Every `report perf` run appends one JSON line (schema
+//! `hni-bench-history/1`) to `BENCH_HISTORY.jsonl`; `--check` parses
+//! the most recent compatible line as the baseline and compares each
+//! named hot loop's median wall time against it. A loop has regressed
+//! when
+//!
+//! ```text
+//! current_median_ns > baseline_median_ns × (1 + tolerance)
+//! ```
+//!
+//! Wall-clock numbers are noisy — on shared CI runners, very noisy — so
+//! the tolerance is explicit and caller-chosen rather than baked in:
+//! the deterministic unit tests here pin the *logic* (a 20% slowdown at
+//! 10% tolerance must trip, a 5% one must not), while `ci.sh` runs the
+//! live smoke with a generous tolerance so scheduling jitter cannot
+//! fail a build. Comparison is by loop *name*; loops present on only
+//! one side are ignored (adding a benchmark must not trip the
+//! sentinel).
+//!
+//! This module owns only the format and the decision — reading and
+//! writing the history file is the bench binary's job, keeping
+//! `hni-telemetry` free of filesystem I/O.
+
+use crate::json;
+use std::fmt::Write as _;
+
+/// Schema tag every history line starts with.
+pub const HISTORY_SCHEMA: &str = "hni-bench-history/1";
+
+/// One hot loop's headline number in a history record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopSample {
+    /// Benchmark name (e.g. `e2e_cells`).
+    pub name: String,
+    /// Median wall time per op, nanoseconds.
+    pub median_ns: f64,
+}
+
+/// One `report perf` run as recorded in `BENCH_HISTORY.jsonl`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SentinelRecord {
+    /// `"fast"` or `"full"` — baselines only compare within a mode,
+    /// since fast-mode timings carry deliberately more noise.
+    pub mode: String,
+    /// The run's hot loops.
+    pub samples: Vec<LoopSample>,
+}
+
+/// One detected regression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Hot loop name.
+    pub name: String,
+    /// Baseline median, ns.
+    pub baseline_ns: f64,
+    /// Current median, ns.
+    pub current_ns: f64,
+    /// current / baseline (> 1 + tolerance by definition).
+    pub ratio: f64,
+}
+
+impl SentinelRecord {
+    /// Serialise as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = String::with_capacity(64 + self.samples.len() * 48);
+        let _ = write!(
+            s,
+            "{{\"schema\":{},\"mode\":{},\"loops\":[",
+            json::quote(HISTORY_SCHEMA),
+            json::quote(&self.mode)
+        );
+        for (i, l) in self.samples.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let median = if l.median_ns.is_finite() {
+                l.median_ns
+            } else {
+                0.0
+            };
+            let _ = write!(
+                s,
+                "{{\"name\":{},\"median_ns\":{:.1}}}",
+                json::quote(&l.name),
+                median
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse one history line. Returns `None` on any malformed or
+    /// wrong-schema input — the sentinel skips lines it cannot read
+    /// rather than failing the whole check on one corrupt record.
+    pub fn parse_line(line: &str) -> Option<SentinelRecord> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        if scan_string_field(line, "schema")? != HISTORY_SCHEMA {
+            return None;
+        }
+        let mode = scan_string_field(line, "mode")?;
+        let loops_at = line.find("\"loops\":[")?;
+        let body = &line[loops_at + "\"loops\":[".len()..];
+        let mut samples = Vec::new();
+        let mut rest = body;
+        while let Some(obj_at) = rest.find('{') {
+            let obj_end = rest[obj_at..].find('}')? + obj_at;
+            let obj = &rest[obj_at..=obj_end];
+            samples.push(LoopSample {
+                name: scan_string_field(obj, "name")?,
+                median_ns: scan_number_field(obj, "median_ns")?,
+            });
+            rest = &rest[obj_end + 1..];
+        }
+        Some(SentinelRecord { mode, samples })
+    }
+
+    /// The most recent parseable record in a history document whose
+    /// mode matches, scanning bottom-up.
+    pub fn last_in_history(history: &str, mode: &str) -> Option<SentinelRecord> {
+        history
+            .lines()
+            .rev()
+            .filter_map(SentinelRecord::parse_line)
+            .find(|r| r.mode == mode)
+    }
+}
+
+/// Minimal scanner for `"key":"value"` in a line we wrote ourselves.
+/// Handles the escapes [`json::escape_into`] can produce.
+fn scan_string_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = obj.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = obj[at..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'b' => out.push('\u{0008}'),
+                'f' => out.push('\u{000C}'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Minimal scanner for `"key":<number>`.
+fn scan_number_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let tail = &obj[at..];
+    let end = tail
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Compare `current` against `baseline`: any loop whose current median
+/// exceeds the baseline by more than `tolerance` (fractional, e.g. 0.1
+/// = +10%) is reported. Loops on only one side are ignored.
+pub fn check(
+    baseline: &SentinelRecord,
+    current: &SentinelRecord,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for cur in &current.samples {
+        let Some(base) = baseline.samples.iter().find(|b| b.name == cur.name) else {
+            continue;
+        };
+        if base.median_ns <= 0.0 {
+            continue;
+        }
+        let ratio = cur.median_ns / base.median_ns;
+        if ratio > 1.0 + tolerance {
+            out.push(Regression {
+                name: cur.name.clone(),
+                baseline_ns: base.median_ns,
+                current_ns: cur.median_ns,
+                ratio,
+            });
+        }
+    }
+    out
+}
+
+/// Render a regression list for the terminal (empty string when clean).
+pub fn render_regressions(regs: &[Regression], tolerance: f64) -> String {
+    if regs.is_empty() {
+        return String::new();
+    }
+    let mut s = format!(
+        "PERF REGRESSION: {} hot loop{} beyond +{:.0}% tolerance\n",
+        regs.len(),
+        if regs.len() == 1 { "" } else { "s" },
+        tolerance * 100.0
+    );
+    for r in regs {
+        let _ = writeln!(
+            s,
+            "  {:<18} baseline {:>10.1} ns/op -> current {:>10.1} ns/op ({:+.1}%)",
+            r.name,
+            r.baseline_ns,
+            r.current_ns,
+            (r.ratio - 1.0) * 100.0
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(mode: &str, pairs: &[(&str, f64)]) -> SentinelRecord {
+        SentinelRecord {
+            mode: mode.to_string(),
+            samples: pairs
+                .iter()
+                .map(|&(n, m)| LoopSample {
+                    name: n.to_string(),
+                    median_ns: m,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn line_round_trips() {
+        let r = rec("fast", &[("e2e_cells", 1234.5), ("aal5_sar_slab", 88.0)]);
+        let line = r.to_line();
+        assert!(
+            line.starts_with("{\"schema\":\"hni-bench-history/1\""),
+            "{line}"
+        );
+        let parsed = SentinelRecord::parse_line(&line).expect("round trip");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn twenty_percent_regression_trips_at_ten_percent_tolerance() {
+        let base = rec("fast", &[("e2e_cells", 1000.0), ("hec", 500.0)]);
+        let cur = rec("fast", &[("e2e_cells", 1200.0), ("hec", 510.0)]);
+        let regs = check(&base, &cur, 0.10);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].name, "e2e_cells");
+        assert!((regs[0].ratio - 1.2).abs() < 1e-9);
+        let text = render_regressions(&regs, 0.10);
+        assert!(
+            text.contains("PERF REGRESSION") && text.contains("e2e_cells"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn small_drift_and_improvements_pass() {
+        let base = rec("fast", &[("a", 1000.0), ("b", 1000.0)]);
+        let cur = rec("fast", &[("a", 1050.0), ("b", 600.0)]);
+        assert!(check(&base, &cur, 0.10).is_empty());
+        assert_eq!(render_regressions(&[], 0.1), "");
+    }
+
+    #[test]
+    fn new_and_removed_loops_are_ignored() {
+        let base = rec("fast", &[("old_loop", 100.0)]);
+        let cur = rec("fast", &[("new_loop", 9e9)]);
+        assert!(check(&base, &cur, 0.0).is_empty());
+    }
+
+    #[test]
+    fn history_scan_takes_last_matching_mode_and_skips_garbage() {
+        let mut hist = String::new();
+        hist.push_str("not json at all\n");
+        hist.push_str(&rec("full", &[("a", 5.0)]).to_line());
+        hist.push('\n');
+        hist.push_str(&rec("fast", &[("a", 1.0)]).to_line());
+        hist.push('\n');
+        hist.push_str(&rec("fast", &[("a", 2.0)]).to_line());
+        hist.push_str("\n{\"schema\":\"other/9\",\"mode\":\"fast\",\"loops\":[]}\n");
+        let last = SentinelRecord::last_in_history(&hist, "fast").expect("baseline");
+        assert_eq!(last.samples[0].median_ns, 2.0);
+        let full = SentinelRecord::last_in_history(&hist, "full").expect("full baseline");
+        assert_eq!(full.samples[0].median_ns, 5.0);
+        assert!(SentinelRecord::last_in_history("", "fast").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{}",
+            "{\"schema\":\"hni-bench-history/1\"}",
+            "{\"schema\":\"hni-bench-history/1\",\"mode\":\"fast\"}",
+            "[1,2,3]",
+        ] {
+            assert!(SentinelRecord::parse_line(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_names_survive_the_round_trip() {
+        let r = rec("fast", &[("weird \"name\"\nwith\\stuff", 7.0)]);
+        let parsed = SentinelRecord::parse_line(&r.to_line()).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn zero_baseline_never_divides() {
+        let base = rec("fast", &[("a", 0.0)]);
+        let cur = rec("fast", &[("a", 100.0)]);
+        assert!(check(&base, &cur, 0.1).is_empty());
+    }
+}
