@@ -34,6 +34,17 @@ for key in '"schema": "hni-bench-perf/1"' '"hot_loops"' '"cells_per_sec"' \
 done
 grep -q '"telemetry_overhead"' bench_perf_smoke.json || {
     echo "BENCH_PERF schema: missing telemetry_overhead" >&2; exit 1; }
+
+echo "==> perf gate: hec_delineation sustains OC-12 line rate (1.47M cells/s)"
+# The burst delineator must stay comfortably past the 622.08 Mb/s line
+# cell rate (622.08e6 / 424 = 1,467,170 cells/s) even in fast mode.
+hec_rate=$(tr ',' '\n' < bench_perf_smoke.json \
+    | sed -n '/"name": "hec_delineation"/,/"name"/p' \
+    | sed -n 's/.*"cells_per_sec": \([0-9.e+]*\).*/\1/p' | head -n 1)
+[ -n "$hec_rate" ] || { echo "perf gate: no hec_delineation rate" >&2; exit 1; }
+awk -v r="$hec_rate" 'BEGIN { exit !(r + 0 >= 1470000) }' || {
+    echo "perf gate: hec_delineation $hec_rate cells/s < OC-12 1.47M" >&2
+    exit 1; }
 rm -f bench_perf_smoke.json
 
 echo "==> expfmt lint: live expositions pass the conformance validator"

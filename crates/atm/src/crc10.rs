@@ -49,10 +49,32 @@ const CRC10_TABLE: [u16; 256] = {
     table
 };
 
-/// Table-driven CRC-10.
+/// Second-level table for the fused two-byte step: `CRC10_TABLE2[b]` is
+/// the contribution of byte value `b` one position earlier in the
+/// stream — `CRC10_TABLE[b]` advanced through one zero byte. Because
+/// the 10-bit state is fully shifted out by 16 data bits, two bytes
+/// reduce to two *independent* lookups (the old state XORs into the
+/// data, `state·x¹⁶ ≡ (state≪6)·x¹⁰ mod g`).
+const CRC10_TABLE2: [u16; 256] = {
+    let mut t = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let c = CRC10_TABLE[i];
+        t[i] = ((c << 8) & 0x3FF) ^ CRC10_TABLE[(c >> 2) as usize];
+        i += 1;
+    }
+    t
+};
+
+/// Table-driven CRC-10, fused two bytes per step.
 pub fn crc10(data: &[u8]) -> u16 {
     let mut crc: u16 = 0;
-    for &byte in data {
+    let mut chunks = data.chunks_exact(2);
+    for pair in &mut chunks {
+        crc = CRC10_TABLE2[(((crc >> 2) as u8) ^ pair[0]) as usize]
+            ^ CRC10_TABLE[((((crc & 3) << 6) as u8) ^ pair[1]) as usize];
+    }
+    for &byte in chunks.remainder() {
         let idx = (((crc >> 2) as u8) ^ byte) as usize;
         crc = ((crc << 8) & 0x3FF) ^ CRC10_TABLE[idx];
     }

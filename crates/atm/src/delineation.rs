@@ -30,6 +30,12 @@
 //! position, but DELTA consecutive confirmations make a false SYNC
 //! vanishingly unlikely (≈ 2⁻⁴⁸); the payload scrambler exists precisely
 //! to make user data look random to this process.
+//!
+//! Two entry points feed the machine: [`Delineator::push_bytes`] runs
+//! the bit-exact reference loop, and [`Delineator::push_slice`] is the
+//! burst fast path (whole-cell copies + fused HEC fold while SYNC and
+//! byte-aligned) proven byte-identical to it by the fuzz equivalence
+//! tests in `tests/delineation_equiv.rs`.
 
 use crate::cell::{Cell, CELL_SIZE};
 use crate::hec::{self, HecReceiver, HecVerdict};
@@ -163,10 +169,68 @@ impl Delineator {
         }
     }
 
-    /// Feed a buffer of bytes.
+    /// Feed a buffer of bytes through the bit-exact reference loop.
+    ///
+    /// Every bit goes through [`push_bit`](Self::push_byte) individually.
+    /// This is the I.432 state machine transcribed literally; the burst
+    /// entry point [`push_slice`](Self::push_slice) is proven
+    /// byte-identical to it (cells *and* counters) by the fuzz
+    /// equivalence tests and should be preferred on hot paths.
     pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<Cell>) {
         for &b in bytes {
             self.push_byte(b, out);
+        }
+    }
+
+    /// Feed a buffer of bytes through the burst fast path.
+    ///
+    /// While the machine is in SYNC **and** the cell phase is
+    /// byte-aligned with the input, whole runs of cell bytes are copied
+    /// straight out of the slice and the header is judged with the fused
+    /// HEC table fold — O(bytes) steady state instead of O(bits). HUNT,
+    /// PRESYNC, and non-byte-aligned SYNC phases (tracked by
+    /// `cellbuf_bits % 8`, which at an input-byte boundary *is* the
+    /// cell-to-input phase) fall back to the bit loop, so bit-shifted
+    /// streams still delineate exactly as before.
+    pub fn push_slice(&mut self, bytes: &[u8], out: &mut Vec<Cell>) {
+        let mut i = 0;
+        while i < bytes.len() {
+            if matches!(self.state, SyncState::Sync { .. }) && self.cellbuf_bits.is_multiple_of(8) {
+                let need = ((CELL_BITS - self.cellbuf_bits) / 8) as usize;
+                let take = need.min(bytes.len() - i);
+                let dst = (self.cellbuf_bits / 8) as usize;
+                self.cellbuf[dst..dst + take].copy_from_slice(&bytes[i..i + take]);
+                self.cellbuf_bits += (take * 8) as u32;
+                self.bits_consumed += (take * 8) as u64;
+                self.shift_window_bytes(&bytes[i..i + take]);
+                i += take;
+                if self.cellbuf_bits == CELL_BITS {
+                    self.complete_cell(out);
+                }
+            } else {
+                // Bit-exact path: HUNT, PRESYNC, or a bit-shifted phase.
+                self.push_byte(bytes[i], out);
+                i += 1;
+            }
+        }
+    }
+
+    /// Advance the 40-bit HUNT window over `new` whole bytes — the same
+    /// value 8·`new.len()` calls to `push_bit` would leave behind. The
+    /// window must stay current even in SYNC: on a sync loss HUNT
+    /// examines it immediately (no dead zone).
+    #[inline]
+    fn shift_window_bytes(&mut self, new: &[u8]) {
+        if let [.., a, b, c, d, e] = *new {
+            self.window = ((a as u64) << 32)
+                | ((b as u64) << 24)
+                | ((c as u64) << 16)
+                | ((d as u64) << 8)
+                | e as u64;
+        } else {
+            for &b in new {
+                self.window = ((self.window << 8) | b as u64) & ((1u64 << 40) - 1);
+            }
         }
     }
 
@@ -187,7 +251,14 @@ impl Delineator {
 
         match self.state {
             SyncState::Hunt => {
-                if self.bits_consumed - self.hunt_started_at >= 40 {
+                // The window is usable as soon as 40 bits have *ever*
+                // been consumed: after a sync loss it already holds 39
+                // valid stream bits, and I.432 HUNT must examine every
+                // bit position. (The old guard demanded 40 bits since
+                // `hunt_started_at`, creating a 39-bit dead zone after
+                // re-entry that silently skipped any header straddling
+                // the loss boundary and delayed reacquisition.)
+                if self.bits_consumed >= 40 {
                     let hdr = self.window_header();
                     if hec::syndrome(&hdr) == 0 {
                         // Assume this window is a header; the rest of the
@@ -427,6 +498,70 @@ mod tests {
         d.push_bytes(&stream(&more), &mut out);
         assert!(d.is_synced(), "must reacquire after garbage");
         assert!(d.acquisitions() >= 2);
+    }
+
+    #[test]
+    fn hunt_reentry_has_no_dead_zone() {
+        // Regression for the HUNT dead zone: a valid header that *begins
+        // before* a sync loss (its first 32 bits are the last 4 octets
+        // the machine consumed while losing SYNC) must be found as soon
+        // as its final bits arrive — the window already holds those 32
+        // bits at re-entry. The old guard waited 40 fresh bits and
+        // silently skipped it, delaying reacquisition by a full cell.
+        let good: Vec<Cell> = (0..10).map(|i| data_cell(70 + i, 0)).collect();
+        let mut d = Delineator::new();
+        let mut out = Vec::new();
+        d.push_bytes(&stream(&good), &mut out);
+        assert!(d.is_synced());
+
+        // ALPHA uncorrectable-header cells force the loss; the LAST one
+        // carries the first 4 octets of the idle-cell header (00 00 00
+        // 01, HEC 0x52) as its final payload octets, so the header
+        // straddles the loss boundary.
+        let mut bad_cell = data_cell(71, 0xA7);
+        bad_cell.as_bytes_mut()[0] ^= 0xFF;
+        bad_cell.as_bytes_mut()[2] ^= 0xFF;
+        let mut bad = vec![bad_cell; ALPHA as usize];
+        let last = bad.last_mut().unwrap().as_bytes_mut();
+        last[49..53].copy_from_slice(&[0x00, 0x00, 0x00, 0x01]);
+        d.push_bytes(&stream(&bad), &mut out);
+        assert!(!d.is_synced());
+        assert_eq!(d.losses(), 1);
+
+        // Post-loss stream: the header's HEC octet, the candidate cell's
+        // 48 payload octets, then clean cells for PRESYNC confirmation.
+        let mut tail = vec![0x52u8];
+        tail.extend_from_slice(&[0u8; PAYLOAD_SIZE]);
+        d.push_bytes(&tail, &mut out);
+        let more: Vec<Cell> = (0..8).map(|i| data_cell(80 + i, 1)).collect();
+        d.push_bytes(&stream(&more), &mut out);
+        assert!(d.is_synced(), "must reacquire on the straddling header");
+        assert_eq!(d.acquisitions(), 2);
+        // Acquisition cost: 8 bits (the HEC octet completes the window
+        // hit), 384 bits of candidate payload, DELTA confirmation cells.
+        // The skipped-header behaviour measured 424 bits more.
+        assert_eq!(d.last_acquisition_bits(), 8 + 384 + 6 * 424);
+    }
+
+    #[test]
+    fn push_slice_matches_push_bytes_on_clean_stream() {
+        let cells: Vec<Cell> = (0..20).map(|i| data_cell(32 + i, i as u8)).collect();
+        let bytes = stream(&cells);
+        let mut bit = Delineator::new();
+        let mut burst = Delineator::new();
+        let (mut out_bit, mut out_burst) = (Vec::new(), Vec::new());
+        bit.push_bytes(&bytes, &mut out_bit);
+        // Feed the burst side in ragged chunks to cross cell boundaries.
+        for chunk in bytes.chunks(61) {
+            burst.push_slice(chunk, &mut out_burst);
+        }
+        assert_eq!(out_bit.len(), out_burst.len());
+        for (a, b) in out_bit.iter().zip(&out_burst) {
+            assert_eq!(a.as_bytes(), b.as_bytes());
+        }
+        assert_eq!(bit.state(), burst.state());
+        assert_eq!(bit.bits_consumed(), burst.bits_consumed());
+        assert_eq!(bit.delivered(), burst.delivered());
     }
 
     #[test]

@@ -24,11 +24,20 @@ pub const REGISTER_BITS: u32 = 43;
 struct Register(u64);
 
 impl Register {
-    /// Shift in a new bit, returning the tap (bit from 43 clocks ago).
+    /// The feedback tap: the bit shifted in [`REGISTER_BITS`] clocks ago.
+    /// The single tap implementation — both scrambler and descrambler
+    /// read through here, so register width and tap position can never
+    /// diverge between the two sides.
+    #[inline]
+    fn tap(&self) -> u8 {
+        ((self.0 >> (REGISTER_BITS - 1)) & 1) as u8
+    }
+
+    /// Shift in a new bit, returning the tap observed before the shift.
     #[inline]
     fn clock(&mut self, bit: u8) -> u8 {
-        let tap = ((self.0 >> 42) & 1) as u8;
-        self.0 = ((self.0 << 1) | bit as u64) & ((1u64 << 43) - 1);
+        let tap = self.tap();
+        self.0 = ((self.0 << 1) | bit as u64) & ((1u64 << REGISTER_BITS) - 1);
         tap
     }
 }
@@ -51,9 +60,10 @@ impl Scrambler {
             let mut out = 0u8;
             for bit_idx in (0..8).rev() {
                 let in_bit = (*byte >> bit_idx) & 1;
-                // Output = input ⊕ (own output 43 bits ago).
-                let tap = (self.reg.0 >> 42) & 1;
-                let out_bit = in_bit ^ tap as u8;
+                // Output = input ⊕ (own output 43 bits ago). The tap is
+                // read *before* clocking the output bit in, via the same
+                // `Register::tap` the descrambler's `clock` uses.
+                let out_bit = in_bit ^ self.reg.tap();
                 self.reg.clock(out_bit);
                 out = (out << 1) | out_bit;
             }

@@ -1,0 +1,207 @@
+//! Fuzz equivalence: the delineator's burst fast path (`push_slice`)
+//! must be **byte-identical** to the bit-exact reference loop
+//! (`push_bytes`) — same cells, same counters, same final state — over
+//! random streams containing clean cells, garbage bursts, bit-shifted
+//! (non-byte-aligned) sections and random bit errors, regardless of how
+//! the input is chunked.
+
+use hni_atm::{Cell, Delineator, HeaderRepr, SyncState, VcId, PAYLOAD_SIZE};
+
+/// Tiny deterministic generator (xorshift), no dev-dep needed.
+struct Xs(u64);
+
+impl Xs {
+    fn new(seed: u64) -> Self {
+        Xs(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn random_cell(rng: &mut Xs) -> Cell {
+    let vci = 32 + (rng.next() % 2000) as u16;
+    let mut payload = [0u8; PAYLOAD_SIZE];
+    for b in payload.iter_mut() {
+        *b = rng.next() as u8;
+    }
+    Cell::new(&HeaderRepr::data(VcId::new(0, vci), false), &payload).unwrap()
+}
+
+/// Shift a stream right by `shift` bits (prepending zero bits).
+fn shift_bits(bytes: &[u8], shift: usize) -> Vec<u8> {
+    let mut out = vec![0u8; 0];
+    let mut carry = 0u16;
+    let mut nbits = shift % 8;
+    for &b in bytes {
+        carry = (carry << 8) | b as u16;
+        nbits += 8;
+        while nbits >= 8 {
+            out.push((carry >> (nbits - 8)) as u8);
+            nbits -= 8;
+            carry &= (1 << nbits) - 1;
+        }
+    }
+    if nbits > 0 {
+        out.push((carry << (8 - nbits)) as u8);
+    }
+    out
+}
+
+/// A stream of random sections: clean cell runs, garbage bursts,
+/// bit-shifted cell runs, plus sparse random bit flips over the whole
+/// thing.
+fn random_stream(rng: &mut Xs) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for _ in 0..2 + rng.below(4) {
+        match rng.below(3) {
+            0 => {
+                // Clean aligned cells.
+                for _ in 0..10 + rng.below(30) {
+                    stream.extend_from_slice(random_cell(rng).as_bytes());
+                }
+            }
+            1 => {
+                // Garbage burst (drives SYNC loss and HUNT churn).
+                for _ in 0..rng.below(300) {
+                    stream.push(rng.next() as u8);
+                }
+            }
+            _ => {
+                // Bit-shifted cell run: non-byte-aligned acquisition.
+                let mut run = Vec::new();
+                for _ in 0..10 + rng.below(20) {
+                    run.extend_from_slice(random_cell(rng).as_bytes());
+                }
+                stream.extend_from_slice(&shift_bits(&run, 1 + rng.below(7)));
+            }
+        }
+    }
+    // Sparse random bit errors (~1e-4), exercising HEC correction,
+    // detection-mode discards and ALPHA loss runs.
+    let total_bits = stream.len() * 8;
+    for _ in 0..total_bits / 10_000 {
+        let bit = rng.below(total_bits);
+        stream[bit / 8] ^= 0x80 >> (bit % 8);
+    }
+    stream
+}
+
+fn assert_equivalent(stream: &[u8], rng: &mut Xs, emit_idle: bool, seed: u64) {
+    let (mut bit, mut burst) = if emit_idle {
+        (
+            Delineator::new().with_idle_cells(),
+            Delineator::new().with_idle_cells(),
+        )
+    } else {
+        (Delineator::new(), Delineator::new())
+    };
+    let (mut out_bit, mut out_burst) = (Vec::new(), Vec::new());
+    bit.push_bytes(stream, &mut out_bit);
+    // Feed the burst side in random ragged chunks: equivalence must not
+    // depend on where call boundaries fall.
+    let mut i = 0;
+    while i < stream.len() {
+        let n = (1 + rng.below(97)).min(stream.len() - i);
+        burst.push_slice(&stream[i..i + n], &mut out_burst);
+        i += n;
+    }
+
+    assert_eq!(out_bit.len(), out_burst.len(), "seed {seed}: cell count");
+    for (k, (a, b)) in out_bit.iter().zip(&out_burst).enumerate() {
+        assert_eq!(a.as_bytes(), b.as_bytes(), "seed {seed}: cell {k}");
+    }
+    assert_eq!(bit.state(), burst.state(), "seed {seed}");
+    assert_eq!(bit.bits_consumed(), burst.bits_consumed(), "seed {seed}");
+    assert_eq!(bit.acquisitions(), burst.acquisitions(), "seed {seed}");
+    assert_eq!(bit.losses(), burst.losses(), "seed {seed}");
+    assert_eq!(
+        bit.last_acquisition_bits(),
+        burst.last_acquisition_bits(),
+        "seed {seed}"
+    );
+    assert_eq!(bit.delivered(), burst.delivered(), "seed {seed}");
+    assert_eq!(
+        bit.discarded_in_sync(),
+        burst.discarded_in_sync(),
+        "seed {seed}"
+    );
+    assert_eq!(
+        bit.hec_receiver().accepted(),
+        burst.hec_receiver().accepted(),
+        "seed {seed}"
+    );
+    assert_eq!(
+        bit.hec_receiver().corrected(),
+        burst.hec_receiver().corrected(),
+        "seed {seed}"
+    );
+    assert_eq!(
+        bit.hec_receiver().discarded(),
+        burst.hec_receiver().discarded(),
+        "seed {seed}"
+    );
+}
+
+#[test]
+fn burst_path_equals_bit_path_over_random_streams() {
+    for seed in 0..60u64 {
+        let mut rng = Xs::new(seed);
+        let stream = random_stream(&mut rng);
+        assert_equivalent(&stream, &mut rng, seed % 2 == 0, seed);
+    }
+}
+
+#[test]
+fn burst_path_equals_bit_path_on_heavily_errored_stream() {
+    // Dense errors: ALPHA loss runs, re-hunts, straddled reacquisitions.
+    for seed in 100..115u64 {
+        let mut rng = Xs::new(seed);
+        let mut stream = Vec::new();
+        for _ in 0..200 {
+            stream.extend_from_slice(random_cell(&mut rng).as_bytes());
+        }
+        let total_bits = stream.len() * 8;
+        for _ in 0..total_bits / 400 {
+            let bit = rng.below(total_bits);
+            stream[bit / 8] ^= 0x80 >> (bit % 8);
+        }
+        assert_equivalent(&stream, &mut rng, false, seed);
+    }
+}
+
+#[test]
+fn burst_path_equals_bit_path_byte_by_byte() {
+    // Degenerate chunking: push_slice one byte at a time must still
+    // match (the fast path engages per byte once aligned in SYNC).
+    let mut rng = Xs::new(42);
+    let mut stream = Vec::new();
+    for _ in 0..40 {
+        stream.extend_from_slice(random_cell(&mut rng).as_bytes());
+    }
+    let (mut bit, mut burst) = (Delineator::new(), Delineator::new());
+    let (mut out_bit, mut out_burst) = (Vec::new(), Vec::new());
+    bit.push_bytes(&stream, &mut out_bit);
+    for &b in &stream {
+        burst.push_slice(std::slice::from_ref(&b), &mut out_burst);
+    }
+    assert_eq!(out_bit.len(), out_burst.len());
+    for (a, b) in out_bit.iter().zip(&out_burst) {
+        assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+    assert_eq!(bit.bits_consumed(), burst.bits_consumed());
+    assert_eq!(bit.state(), burst.state());
+}
+
+#[test]
+fn sync_state_is_comparable() {
+    // SyncState is part of the equivalence contract; pin its variants.
+    assert_eq!(SyncState::Hunt, SyncState::Hunt);
+    assert_ne!(SyncState::Hunt, SyncState::Presync { good: 0 });
+}

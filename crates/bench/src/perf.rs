@@ -117,12 +117,14 @@ pub fn run_perf(fast: bool) -> PerfReport {
     }
     let mut delin = Delineator::new();
     let mut cells = Vec::with_capacity(refs.len());
-    // Acquire SYNC once; the timed loop runs in steady state.
-    delin.push_bytes(&stream, &mut cells);
+    // Acquire SYNC once; the timed loop runs in steady state on the
+    // burst fast path (whole-cell copies + fused HEC fold — the bit
+    // loop only runs during HUNT/PRESYNC and at bit-shifted phases).
+    delin.push_slice(&stream, &mut cells);
     assert!(delin.is_synced(), "delineator must sync on a clean stream");
     let hec = measure("hec_delineation", samples, sample_s, || {
         cells.clear();
-        delin.push_bytes(&stream, &mut cells);
+        delin.push_slice(&stream, &mut cells);
         cells.len()
     });
     let hec = hot_loop(hec, burst_cells);

@@ -9,24 +9,33 @@
 
 use hni_sim::Duration;
 
-/// The two line rates the architecture is evaluated at.
+/// The line rates the simulated plant can run at. The paper evaluates
+/// OC-3 and OC-12; OC-48 and OC-192 are the growth rates the burst-mode
+/// delineator leaves headroom for (same frame geometry formulas, larger
+/// N).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LineRate {
     /// STS-3c / OC-3: 155.52 Mb/s line, 149.76 Mb/s payload.
     Oc3,
     /// STS-12c / OC-12: 622.08 Mb/s line, 599.04 Mb/s payload.
     Oc12,
+    /// STS-48c / OC-48: 2488.32 Mb/s line, 2396.16 Mb/s payload.
+    Oc48,
+    /// STS-192c / OC-192: 9953.28 Mb/s line, 9584.64 Mb/s payload.
+    Oc192,
 }
 
 /// Frames per second: one frame every 125 µs.
 pub const FRAMES_PER_SECOND: u64 = 8000;
 
 impl LineRate {
-    /// The STS level N (3 or 12).
+    /// The STS level N (3, 12, 48 or 192).
     pub const fn sts_n(self) -> usize {
         match self {
             LineRate::Oc3 => 3,
             LineRate::Oc12 => 12,
+            LineRate::Oc48 => 48,
+            LineRate::Oc192 => 192,
         }
     }
 
@@ -122,11 +131,37 @@ mod tests {
     }
 
     #[test]
+    fn oc48_geometry() {
+        let r = LineRate::Oc48;
+        assert_eq!(r.columns(), 4320);
+        assert_eq!(r.frame_octets(), 38_880);
+        assert_eq!(r.toh_columns(), 144);
+        assert_eq!(r.fixed_stuff_columns(), 15);
+        assert_eq!(r.payload_columns(), 4160);
+        assert_eq!(r.payload_octets_per_frame(), 37_440);
+    }
+
+    #[test]
+    fn oc192_geometry() {
+        let r = LineRate::Oc192;
+        assert_eq!(r.columns(), 17_280);
+        assert_eq!(r.frame_octets(), 155_520);
+        assert_eq!(r.toh_columns(), 576);
+        assert_eq!(r.fixed_stuff_columns(), 63);
+        assert_eq!(r.payload_columns(), 16_640);
+        assert_eq!(r.payload_octets_per_frame(), 149_760);
+    }
+
+    #[test]
     fn canonical_rates() {
         assert_eq!(LineRate::Oc3.line_bps(), 155.52e6);
         assert_eq!(LineRate::Oc12.line_bps(), 622.08e6);
+        assert_eq!(LineRate::Oc48.line_bps(), 2488.32e6);
+        assert_eq!(LineRate::Oc192.line_bps(), 9953.28e6);
         assert_eq!(LineRate::Oc3.payload_bps(), 149.76e6);
         assert_eq!(LineRate::Oc12.payload_bps(), 599.04e6);
+        assert_eq!(LineRate::Oc48.payload_bps(), 2396.16e6);
+        assert_eq!(LineRate::Oc192.payload_bps(), 9584.64e6);
     }
 
     #[test]
@@ -146,5 +181,10 @@ mod tests {
         // 599.04 Mb/s / 424 b ≈ 1.4128 M cells/s.
         let r = LineRate::Oc12.cell_slots_per_second();
         assert!((r - 1_412_830.0).abs() < 1000.0, "{r}");
+        // The growth rates: ≈ 5.65 M and ≈ 22.6 M cells/s.
+        let r48 = LineRate::Oc48.cell_slots_per_second();
+        assert!((r48 - 5_651_321.0).abs() < 1000.0, "{r48}");
+        let r192 = LineRate::Oc192.cell_slots_per_second();
+        assert!((r192 - 22_605_283.0).abs() < 1000.0, "{r192}");
     }
 }

@@ -181,7 +181,7 @@ impl TcReceiver {
         cells.clear();
         for frame in &frames {
             match self.parser.parse(frame) {
-                Ok(parsed) => self.delineator.push_bytes(&parsed.payload, &mut cells),
+                Ok(parsed) => self.delineator.push_slice(&parsed.payload, &mut cells),
                 Err(_) => {
                     // Skip the frame; the delineator simply sees a gap in
                     // the payload stream (as hardware would on a bad frame).
@@ -242,6 +242,16 @@ mod tests {
     #[test]
     fn end_to_end_cells_over_frames_oc12() {
         end_to_end(LineRate::Oc12);
+    }
+
+    #[test]
+    fn end_to_end_cells_over_frames_oc48() {
+        end_to_end(LineRate::Oc48);
+    }
+
+    #[test]
+    fn end_to_end_cells_over_frames_oc192() {
+        end_to_end(LineRate::Oc192);
     }
 
     fn end_to_end(rate: LineRate) {
