@@ -34,6 +34,8 @@ for key in '"schema": "hni-bench-perf/1"' '"hot_loops"' '"cells_per_sec"' \
 done
 grep -q '"telemetry_overhead"' bench_perf_smoke.json || {
     echo "BENCH_PERF schema: missing telemetry_overhead" >&2; exit 1; }
+grep -q '"reservoir_overhead"' bench_perf_smoke.json || {
+    echo "BENCH_PERF schema: missing reservoir_overhead" >&2; exit 1; }
 
 echo "==> perf gate: hec_delineation sustains OC-12 line rate (1.47M cells/s)"
 # The burst delineator must stay comfortably past the 622.08 Mb/s line
@@ -52,6 +54,31 @@ for id in r-f1 r-f2 r-f3; do
     cargo run -q -p hni-bench --bin report --release -- promlint "$id" > /dev/null || {
         echo "promlint $id failed" >&2; exit 1; }
 done
+
+echo "==> tail anatomy: blame line present, diff exits, exemplars stable across HNI_JOBS"
+# The attributor must name a dominant stage on the canonical loaded run.
+cargo run -q -p hni-bench --bin report --release -- tail r-f3 > tail_smoke.txt
+grep -q 'p99 excess is' tail_smoke.txt || {
+    echo "report tail r-f3: blame headline missing" >&2; exit 1; }
+grep -q 'hni_tail_stage_share' tail_smoke.txt || {
+    echo "report tail r-f3: Prometheus stage-share family missing" >&2; exit 1; }
+rm -f tail_smoke.txt
+# diff against itself succeeds; a stage-schema mismatch must exit 2.
+cargo run -q -p hni-bench --bin report --release -- diff r-f3 r-f3 > /dev/null || {
+    echo "report diff r-f3 r-f3 should succeed" >&2; exit 1; }
+if cargo run -q -p hni-bench --bin report --release -- \
+    diff r-f3 r-f1 > /dev/null 2>&1; then
+    echo "report diff r-f3 r-f1: schema mismatch must exit non-zero" >&2; exit 1
+fi
+# The always-on reservoir is part of the deterministic contract: the
+# exemplar report must be byte-identical across worker counts.
+HNI_JOBS=1 cargo run -q -p hni-bench --bin report --release -- \
+    exemplars r-f3 > exemplars_j1.txt
+HNI_JOBS=4 cargo run -q -p hni-bench --bin report --release -- \
+    exemplars r-f3 > exemplars_j4.txt
+cmp exemplars_j1.txt exemplars_j4.txt || {
+    echo "exemplar reservoir diverged across worker counts" >&2; exit 1; }
+rm -f exemplars_j1.txt exemplars_j4.txt
 
 echo "==> sentinel smoke: fresh baseline passes, doctored baseline trips"
 rm -f sentinel_smoke_history.jsonl sentinel_smoke_perf.json

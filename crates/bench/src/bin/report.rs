@@ -12,6 +12,9 @@
 //! cargo run -p hni-bench --bin report --release -- prom r-f1        # Prometheus text
 //! cargo run -p hni-bench --bin report --release -- hist r-f3        # latency bands
 //! cargo run -p hni-bench --bin report --release -- topvc r-f2      # per-VC top-K
+//! cargo run -p hni-bench --bin report --release -- tail r-f3       # tail blame table
+//! cargo run -p hni-bench --bin report --release -- exemplars r-f3  # slowest packets
+//! cargo run -p hni-bench --bin report --release -- diff r-f3 r-f3  # side-by-side
 //! cargo run -p hni-bench --bin report --release -- promlint r-f1   # expfmt check
 //! cargo run -p hni-bench --bin report --release -- perf             # wall-clock bench
 //! cargo run -p hni-bench --bin report --release -- perf --fast out.json
@@ -36,9 +39,10 @@
 //! Ids are case-insensitive and the hyphen is optional (`rf1` ≡ `r-f1`).
 
 use hni_bench::{
-    bottleneck_report, folded_report, hist_report, metrics_experiment, normalize_id, prom_report,
-    run_experiment, sampled_trace_experiment, topvc_report, trace_experiment, EXPERIMENT_IDS,
-    HIST_IDS, PROFILE_IDS, TOPVC_IDS, TRACEABLE_IDS,
+    bottleneck_report, diff_report, exemplars_report, folded_report, hist_report,
+    metrics_experiment, normalize_id, prom_report, run_experiment, sampled_trace_experiment,
+    tail_report, topvc_report, trace_experiment, EXPERIMENT_IDS, HIST_IDS, PROFILE_IDS, TAIL_IDS,
+    TOPVC_IDS, TRACEABLE_IDS,
 };
 use hni_telemetry::SentinelRecord;
 
@@ -101,6 +105,9 @@ fn main() {
                 if TOPVC_IDS.contains(&id) {
                     caps.push("topvc");
                 }
+                if TAIL_IDS.contains(&id) {
+                    caps.extend(["tail", "exemplars"]);
+                }
                 if caps.is_empty() {
                     println!("{id}");
                 } else {
@@ -148,6 +155,27 @@ fn main() {
             let id = capability_id_or_exit(&args, "topvc", &TOPVC_IDS);
             print_or_exit(topvc_report(&id), &id, "topvc", &TOPVC_IDS);
         }
+        Some("tail") => {
+            let id = capability_id_or_exit(&args, "tail", &TAIL_IDS);
+            print_or_exit(tail_report(&id), &id, "tail", &TAIL_IDS);
+        }
+        Some("exemplars") => {
+            let id = capability_id_or_exit(&args, "exemplars", &TAIL_IDS);
+            print_or_exit(exemplars_report(&id), &id, "exemplars", &TAIL_IDS);
+        }
+        Some("diff") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: report diff <a> <b>; ids with histograms: {HIST_IDS:?}");
+                std::process::exit(2);
+            };
+            match diff_report(&normalize_id(a), &normalize_id(b)) {
+                Ok(out) => print!("{out}"),
+                Err(e) => {
+                    eprintln!("report diff: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         Some("promlint") => {
             // Run every live exposition the id supports (`prom` profile
             // gauges, `hist` histogram families) through the expfmt
@@ -162,6 +190,13 @@ fn main() {
                 // The hist report is a table followed by the exposition.
                 if let Some(start) = out.find("# HELP") {
                     lint_or_exit(&id, "hist", &out[start..]);
+                    checked += 1;
+                }
+            }
+            if let Some(out) = tail_report(&id) {
+                // Likewise: blame table, then the tail-share gauges.
+                if let Some(start) = out.find("# HELP") {
+                    lint_or_exit(&id, "tail", &out[start..]);
                     checked += 1;
                 }
             }

@@ -12,6 +12,7 @@ pub mod rf6_bus;
 pub mod rf7_delineation;
 pub mod rf8_congestion;
 pub mod ro1_bottleneck;
+pub mod ro2_tail;
 pub mod rr1_discard;
 pub mod rt1_budget;
 pub mod rt2_partition;

@@ -48,6 +48,22 @@ pub fn canonical_run() -> hni_core::e2esim::E2eReport {
     )
 }
 
+/// The canonical loaded run with its full event trace captured: the
+/// tail attribution joins the report's exemplar reservoir against the
+/// span index of the *same* run, so it needs both. Tracing does not
+/// perturb the simulation — the report equals [`canonical_run`]'s.
+pub fn canonical_trace() -> (hni_core::e2esim::E2eReport, Vec<TraceEvent>) {
+    let mut tracer = VecTracer::new();
+    let r = run_e2e_instrumented(
+        &TxConfig::paper(LineRate::Oc12),
+        &RxConfig::paper(LineRate::Oc12),
+        &greedy_workload(20, TRACE_LEN, VcId::new(0, 32)),
+        PROPAGATION,
+        &mut tracer,
+    );
+    (r, tracer.into_events())
+}
+
 /// Cycle-profile a loaded end-to-end run (20 × 9180-octet packets):
 /// unlike the single-packet trace, a steady-state backlog gives every
 /// path resource a meaningful utilization to rank. Returns the profile

@@ -19,9 +19,9 @@ pub use par_sweep::{jobs_from_env, par_sweep, par_sweep_with_jobs};
 pub use table::Table;
 
 /// All experiment ids, in report order.
-pub const EXPERIMENT_IDS: [&str; 17] = [
+pub const EXPERIMENT_IDS: [&str; 18] = [
     "r-t1", "r-t2", "r-t3", "r-t4", "r-t5", "r-f1", "r-f2", "r-f3", "r-f4", "r-f5", "r-f6", "r-f7",
-    "r-f8", "r-a1", "r-a2", "r-o1", "r-r1",
+    "r-f8", "r-a1", "r-a2", "r-o1", "r-o2", "r-r1",
 ];
 
 /// Experiment ids whose underlying runs can be captured as a trace
@@ -39,6 +39,13 @@ pub const HIST_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
 /// Experiment ids whose canonical runs report per-VC heavy hitters
 /// (`report topvc <id>`).
 pub const TOPVC_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
+
+/// Experiment ids supporting tail anatomy (`report tail <id>` /
+/// `report exemplars <id>`). Only runs traced through *both* pipeline
+/// halves qualify — the cohort attributor needs complete
+/// descriptor→completion lives, which tx- or rx-only canonical runs
+/// (r-f1, r-f2) cannot provide.
+pub const TAIL_IDS: [&str; 1] = ["r-f3"];
 
 /// Canonicalise a user-typed experiment id: lowercase, and accept the
 /// hyphenless shorthand ("RF1", "ro1") for the `r-xN` family.
@@ -122,15 +129,10 @@ fn pct_row(stage: &str, h: &hni_telemetry::HdrHist) -> [String; 8] {
     ]
 }
 
-/// Always-on latency-histogram report for an experiment's canonical
-/// run: percentile bands per pipeline stage (µs), plus the same data
-/// as a Prometheus histogram family (picosecond `le` bounds) that the
-/// `promlint` conformance validator can check.
-pub fn hist_report(id: &str) -> Option<String> {
-    let mut t = Table::new([
-        "latency", "n", "mean us", "p50<=", "p90<=", "p99<=", "p999<=", "max us",
-    ]);
-    // (stage label, histogram) pairs exported below the table.
+/// The always-on latency series of an experiment's canonical run:
+/// a title plus `(stage label, histogram)` pairs. Shared by
+/// [`hist_report`] and [`diff_report`].
+fn hist_series(id: &str) -> Option<(&'static str, Vec<(&'static str, hni_telemetry::HdrHist)>)> {
     let mut series: Vec<(&'static str, hni_telemetry::HdrHist)> = Vec::new();
     let title = match id {
         "r-f1" => {
@@ -152,6 +154,18 @@ pub fn hist_report(id: &str) -> Option<String> {
         }
         _ => return None,
     };
+    Some((title, series))
+}
+
+/// Always-on latency-histogram report for an experiment's canonical
+/// run: percentile bands per pipeline stage (µs), plus the same data
+/// as a Prometheus histogram family (picosecond `le` bounds) that the
+/// `promlint` conformance validator can check.
+pub fn hist_report(id: &str) -> Option<String> {
+    let mut t = Table::new([
+        "latency", "n", "mean us", "p50<=", "p90<=", "p99<=", "p999<=", "max us",
+    ]);
+    let (title, series) = hist_series(id)?;
     for (stage, h) in &series {
         t.row(pct_row(stage, h));
     }
@@ -224,6 +238,178 @@ pub fn topvc_report(id: &str) -> Option<String> {
     ))
 }
 
+/// Tail-anatomy report: cohort critical-path attribution of an
+/// experiment's canonical loaded run (`report tail <id>`). Renders the
+/// blame headline, the tail-vs-median table, and the per-stage tail
+/// shares as Prometheus gauges.
+pub fn tail_report(id: &str) -> Option<String> {
+    if !TAIL_IDS.contains(&id) {
+        return None;
+    }
+    let (_, events) = experiments::rf3_latency::canonical_trace();
+    let spans = hni_telemetry::PacketSpans::from_events(&events);
+    let body = match hni_telemetry::attribute_tail(&spans) {
+        Some(attr) => format!("{}\n{}", attr.render(), attr.prom()),
+        None => "no attributable tail (uniform latency or <2 completed packets)\n".to_string(),
+    };
+    Some(format!(
+        "R-F3 canonical loaded run — tail anatomy ({} packets indexed)\n\
+         (cohorts are exact order statistics over traced totals; the\n\
+          reservoir's p99+ cohort in `report exemplars` uses the log2-bucket\n\
+          histogram bound instead — see EXPERIMENTS.md \"R-O2 methodology\")\n\n{body}",
+        spans.len()
+    ))
+}
+
+/// Tail exemplar report: the always-on reservoir's slowest-N packets
+/// with their full span breakdowns, plus the deterministic p99+
+/// cohort sample (`report exemplars <id>`).
+pub fn exemplars_report(id: &str) -> Option<String> {
+    if !TAIL_IDS.contains(&id) {
+        return None;
+    }
+    let (report, events) = experiments::rf3_latency::canonical_trace();
+    let spans = hni_telemetry::PacketSpans::from_events(&events);
+    let mut t = Table::new(["rank", "vc key", "pkt", "latency us", "done us"]);
+    let slowest = report.tail.slowest();
+    for (i, e) in slowest.iter().enumerate() {
+        t.row([
+            (i + 1).to_string(),
+            e.vc.to_string(),
+            e.pkt.to_string(),
+            format!("{:.3}", e.latency().as_us_f64()),
+            format!("{:.3}", e.done_ps as f64 / 1e6),
+        ]);
+    }
+    let mut out = format!(
+        "R-F3 canonical loaded run — tail exemplars (always-on reservoir,\n\
+         {} packets offered, identity sample 1-in-{})\n\n{}\n",
+        report.tail.recorded(),
+        report.tail.one_in(),
+        t.render()
+    );
+    use std::fmt::Write as _;
+    for e in &slowest {
+        match spans.life(e.pkt).map(|l| l.breakdown()) {
+            Some(b) if !b.is_empty() => {
+                let _ = writeln!(out, "packet {} span breakdown (wait + service us):", e.pkt);
+                for s in &b {
+                    let _ = writeln!(
+                        out,
+                        "  {:<12} {:>10.3} + {:>10.3}",
+                        s.label,
+                        s.wait.as_us_f64(),
+                        s.service.as_us_f64()
+                    );
+                }
+            }
+            _ => {
+                let _ = writeln!(out, "packet {}: no spans indexed (not traced)", e.pkt);
+            }
+        }
+    }
+    // The p99+ cohort carved from the identity sample, using the
+    // histogram's log2-bucket p99 bound as the threshold.
+    let p99 = report.latency_hist.quantile(0.99);
+    let cohort = report.tail.cohort(p99);
+    let _ = writeln!(
+        out,
+        "\np99+ cohort (sampled identities >= histogram p99 bound {:.3} us): {}",
+        p99 as f64 / 1e6,
+        if cohort.is_empty() {
+            "none sampled".to_string()
+        } else {
+            cohort
+                .iter()
+                .map(|e| format!("pkt {} ({:.3} us)", e.pkt, e.latency().as_us_f64()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+    Some(out)
+}
+
+/// Side-by-side comparison of two run ids (`report diff <a> <b>`):
+/// per-stage latency deltas from the always-on histograms, and the
+/// profiled utilization/goodput deltas. `Err` on unsupported ids or
+/// when the two runs' stage schemas differ (the caller exits 2).
+pub fn diff_report(a: &str, b: &str) -> Result<String, String> {
+    let (title_a, series_a) =
+        hist_series(a).ok_or_else(|| format!("{a}: no always-on histogram support"))?;
+    let (title_b, series_b) =
+        hist_series(b).ok_or_else(|| format!("{b}: no always-on histogram support"))?;
+    let stages_a: Vec<&str> = series_a.iter().map(|(s, _)| *s).collect();
+    let stages_b: Vec<&str> = series_b.iter().map(|(s, _)| *s).collect();
+    if stages_a != stages_b {
+        return Err(format!(
+            "schema mismatch: {a} reports stages {stages_a:?}, {b} reports {stages_b:?}"
+        ));
+    }
+    let us = |ps: u64| ps as f64 / 1e6;
+    let mut t = Table::new([
+        "stage", "n a", "n b", "mean a", "mean b", "d mean", "p99 a", "p99 b", "d p99",
+    ]);
+    for ((stage, ha), (_, hb)) in series_a.iter().zip(&series_b) {
+        let (pa, pb) = (ha.pcts(), hb.pcts());
+        t.row([
+            stage.to_string(),
+            pa.count.to_string(),
+            pb.count.to_string(),
+            format!("{:.2}", pa.mean / 1e6),
+            format!("{:.2}", pb.mean / 1e6),
+            format!("{:+.2}", pb.mean / 1e6 - pa.mean / 1e6),
+            format!("{:.2}", us(pa.p99)),
+            format!("{:.2}", us(pb.p99)),
+            format!("{:+.2}", us(pb.p99) - us(pa.p99)),
+        ]);
+    }
+    let mut out = format!(
+        "diff {a} vs {b}\n  a: {title_a}\n  b: {title_b}\n\n\
+         Per-stage latency (us; log2-bucket p99 upper bounds):\n{}",
+        t.render()
+    );
+    // Profiled side: goodput and per-resource utilization deltas.
+    if let (Some((pa, ga)), Some((pb, gb))) = (profile_experiment(a), profile_experiment(b)) {
+        let (ra, rb) = (
+            hni_telemetry::attribute(&pa, ga),
+            hni_telemetry::attribute(&pb, gb),
+        );
+        let mut p = Table::new(["resource", "util a", "util b", "d util"]);
+        for sa in &ra.ranked {
+            if let Some(sb) = ra_lookup(&rb, sa.component) {
+                p.row([
+                    sa.component.name().to_string(),
+                    table::fmt_pct(sa.utilization),
+                    table::fmt_pct(sb.utilization),
+                    format!("{:+.1}pp", (sb.utilization - sa.utilization) * 100.0),
+                ]);
+            }
+        }
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "\nProfiled utilization (resources charged in both runs):\n{}\
+             goodput: a {} vs b {} ({:+.1}%)\n",
+            p.render(),
+            table::fmt_bps(ga),
+            table::fmt_bps(gb),
+            if ga > 0.0 {
+                (gb / ga - 1.0) * 100.0
+            } else {
+                0.0
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn ra_lookup(
+    a: &hni_telemetry::Attribution,
+    c: hni_telemetry::Component,
+) -> Option<&hni_telemetry::ResourceShare> {
+    a.ranked.iter().find(|s| s.component == c)
+}
+
 /// [`trace_experiment`] thinned by the deterministic sampler: keeps
 /// events whose (vc, pkt, cell) identity hashes into the 1-in-`one_in`
 /// keep set under `seed`. The decision is a pure function of identity,
@@ -286,6 +472,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "r-a1" => Some(experiments::ra1_fifo_depth::run()),
         "r-a2" => Some(experiments::ra2_mips::run()),
         "r-o1" => Some(experiments::ro1_bottleneck::run()),
+        "r-o2" => Some(experiments::ro2_tail::run()),
         "r-r1" => Some(experiments::rr1_discard::run()),
         _ => None,
     }

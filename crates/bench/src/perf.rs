@@ -33,7 +33,7 @@ use criterion::{measure, BenchResult};
 use hni_aal::aal5::{self, Aal5Reassembler};
 use hni_atm::{CellSlab, Delineator, VcId, CELL_SIZE};
 use hni_sim::{Duration, Time};
-use hni_telemetry::{json, HdrHist, LoopSample, SentinelRecord, VcMetrics};
+use hni_telemetry::{json, HdrHist, LoopSample, SentinelRecord, TailReservoir, VcMetrics};
 
 /// One hot loop's timing, normalised to cell rate.
 pub struct HotLoop {
@@ -72,6 +72,12 @@ pub struct PerfReport {
     /// (0.03 means the histograms + top-K cost 3%; the acceptance
     /// budget is <5% — noisy on `fast` mode, nothing gates on it).
     pub telemetry_overhead: f64,
+    /// Tail-exemplar-reservoir overhead on the e2e hot loop:
+    /// `e2e_cells_reservoir` median / `e2e_cells` median − 1. The
+    /// reservoir is measured in isolation (no histograms or top-K in
+    /// the loop) so the ratio prices exactly what the always-on
+    /// exemplars add per packet completion. Same <5% budget.
+    pub reservoir_overhead: f64,
 }
 
 const SDU_LEN: usize = 9180;
@@ -183,6 +189,27 @@ pub fn run_perf(fast: bool) -> PerfReport {
     let e2e_tel = hot_loop(e2e_tel, burst_cells);
     let telemetry_overhead = e2e_tel.result.median_ns / e2e.result.median_ns.max(1e-9) - 1.0;
 
+    // --- the round trip plus the always-on tail reservoir ---
+    // Per SDU: one TailReservoir.record — the cadence the simulators
+    // pay at each packet completion. Measured without the histogram or
+    // top-K calls so the ratio against `e2e_cells` isolates what the
+    // exemplar reservoir alone adds.
+    let mut tail = TailReservoir::paper();
+    let e2e_res = measure("e2e_cells_reservoir", samples, sample_s, || {
+        refs.clear();
+        aal5::segment_burst(vc, &sdus, 0, &mut slab, &mut refs);
+        done.clear();
+        reasm.deliver_burst(&refs, &slab, Time::ZERO, &mut done);
+        slab.free_all(&refs);
+        for (i, sdu) in done.drain(..).flatten().enumerate() {
+            let lat = Duration::from_ps((i as u64 + 1) * 1_000_000);
+            tail.record(vc.cam_key(), i as u32, lat, Time::ZERO + lat);
+            reasm.recycle(sdu.data);
+        }
+    });
+    let e2e_res = hot_loop(e2e_res, burst_cells);
+    let reservoir_overhead = e2e_res.result.median_ns / e2e.result.median_ns.max(1e-9) - 1.0;
+
     // --- serial vs parallel R-F1 sweep ---
     let pkts = if fast { 3 } else { 12 };
     let sweep_samples = if fast { 3 } else { 7 };
@@ -203,9 +230,10 @@ pub fn run_perf(fast: bool) -> PerfReport {
     PerfReport {
         mode: if fast { "fast" } else { "full" },
         cores: available_cores(),
-        hot_loops: vec![sar, hec, rx, e2e, e2e_tel],
+        hot_loops: vec![sar, hec, rx, e2e, e2e_tel, e2e_res],
         sweep,
         telemetry_overhead,
+        reservoir_overhead,
     }
 }
 
@@ -260,6 +288,10 @@ impl PerfReport {
             "  \"telemetry_overhead\": {},\n",
             jnum6(self.telemetry_overhead)
         ));
+        s.push_str(&format!(
+            "  \"reservoir_overhead\": {},\n",
+            jnum6(self.reservoir_overhead)
+        ));
         s.push_str("  \"sweep\": {\n");
         s.push_str("    \"name\": \"r-f1\",\n");
         s.push_str(&format!(
@@ -292,6 +324,8 @@ impl PerfReport {
             "Wall-clock perf ({} mode, {} core{})\n\n{}\n\
              Always-on telemetry overhead (e2e_cells_telemetry vs e2e_cells): {:+.1}%\n\
              (budget <5% — histograms + per-VC top-K ride the hot loop by default)\n\
+             Tail reservoir overhead (e2e_cells_reservoir vs e2e_cells): {:+.1}%\n\
+             (same budget — the exemplar reservoir is always on too)\n\
              R-F1 sweep: serial {:.1} ms, parallel {:.1} ms at {} jobs → {:.2}x speedup\n\
              (speedup is bounded by the host's core count; simulated results\n\
               are byte-identical either way — see README \"Performance\")\n",
@@ -300,6 +334,7 @@ impl PerfReport {
             if self.cores == 1 { "" } else { "s" },
             t.render(),
             self.telemetry_overhead * 100.0,
+            self.reservoir_overhead * 100.0,
             self.sweep.serial_ns / 1e6,
             self.sweep.parallel_ns / 1e6,
             self.sweep.jobs,
@@ -324,6 +359,21 @@ impl PerfReport {
             name: "sweep_serial".into(),
             median_ns: self.sweep.serial_ns,
         });
+        // The overhead ratios ride along as factors (1.0 + overhead):
+        // a factor stays near 1, so the sentinel's multiplicative
+        // tolerance reads naturally ("the telemetry tax grew 3×"),
+        // where the raw overhead — a small number near zero — would
+        // make any ratio meaningless. Older history lines without
+        // these names are fine: comparison is by name and one-sided
+        // names are ignored.
+        samples.push(LoopSample {
+            name: "telemetry_overhead_factor".into(),
+            median_ns: 1.0 + self.telemetry_overhead,
+        });
+        samples.push(LoopSample {
+            name: "reservoir_overhead_factor".into(),
+            median_ns: 1.0 + self.reservoir_overhead,
+        });
         SentinelRecord {
             mode: self.mode.to_string(),
             samples,
@@ -339,7 +389,7 @@ mod tests {
     fn fast_perf_runs_and_serialises() {
         let r = run_perf(true);
         assert_eq!(r.mode, "fast");
-        assert_eq!(r.hot_loops.len(), 5);
+        assert_eq!(r.hot_loops.len(), 6);
         for h in &r.hot_loops {
             assert!(h.cells_per_sec > 0.0, "{}", h.result.name);
             assert!(h.result.median_ns > 0.0, "{}", h.result.name);
@@ -353,6 +403,11 @@ mod tests {
             "overhead {}",
             r.telemetry_overhead
         );
+        assert!(
+            r.reservoir_overhead.is_finite() && r.reservoir_overhead > -1.0,
+            "reservoir overhead {}",
+            r.reservoir_overhead
+        );
         let json = r.to_json();
         for key in [
             "\"schema\": \"hni-bench-perf/1\"",
@@ -361,11 +416,13 @@ mod tests {
             "\"speedup\"",
             "\"cores\"",
             "\"telemetry_overhead\"",
+            "\"reservoir_overhead\"",
             "aal5_sar_slab",
             "hec_delineation",
             "rx_reassembly",
             "e2e_cells",
             "e2e_cells_telemetry",
+            "e2e_cells_reservoir",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -383,9 +440,18 @@ mod tests {
         let text = r.render();
         assert!(text.contains("speedup"), "{text}");
         assert!(text.contains("telemetry overhead"), "{text}");
+        assert!(text.contains("reservoir overhead"), "{text}");
         // The sentinel record round-trips through its own line format.
         let rec = r.sentinel_record();
-        assert_eq!(rec.samples.len(), 6, "5 hot loops + sweep_serial");
+        assert_eq!(
+            rec.samples.len(),
+            9,
+            "6 hot loops + sweep_serial + 2 overhead factors"
+        );
+        assert!(rec
+            .samples
+            .iter()
+            .any(|s| s.name == "reservoir_overhead_factor" && s.median_ns > 0.0));
         let parsed = SentinelRecord::parse_line(&rec.to_line()).expect("own line parses");
         assert_eq!(parsed.mode, "fast");
         assert_eq!(parsed.samples.len(), rec.samples.len());

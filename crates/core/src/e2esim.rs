@@ -19,7 +19,7 @@ use crate::rxsim::{
 use crate::txsim::{run_tx_full, TxConfig, TxPacket};
 use hni_aal::AalType;
 use hni_sim::{Duration, FaultPlan, Summary, Time};
-use hni_telemetry::{HdrHist, NullProfiler, NullTracer, Profiler, Tracer};
+use hni_telemetry::{HdrHist, NullProfiler, NullTracer, Profiler, TailReservoir, Tracer};
 use std::collections::HashMap;
 
 /// End-to-end results.
@@ -34,6 +34,10 @@ pub struct E2eReport {
     /// End-to-end latency distribution (ps): always-on log₂ histogram
     /// with p50/p90/p99/p999 bands and exact max.
     pub latency_hist: HdrHist,
+    /// Tail exemplars for the end-to-end latency: slowest packets'
+    /// identities plus a deterministic identity sample. Joins back to
+    /// traces/waterfalls via the packet id (always on, fixed capacity).
+    pub tail: TailReservoir,
     /// End-to-end goodput, bits/s.
     pub goodput_bps: f64,
     /// The transmit-side report.
@@ -240,12 +244,14 @@ fn assemble_report(
 ) -> E2eReport {
     let mut latency = Summary::new();
     let mut latency_hist = HdrHist::new();
+    let mut tail = TailReservoir::paper();
     let mut delivered_octets = 0u64;
     for (i, done) in completions.iter().enumerate() {
         if let Some(t) = done {
             let lat = t.saturating_since(packets[i].arrival);
             latency.record_us(lat);
             latency_hist.record_duration(lat);
+            tail.record(packets[i].vc.cam_key(), i as u32, lat, *t);
             delivered_octets += packets[i].len as u64;
         }
     }
@@ -256,6 +262,7 @@ fn assemble_report(
         delivered: rx_report.delivered_packets,
         latency_us: latency,
         latency_hist,
+        tail,
         goodput_bps: if elapsed > 0.0 {
             delivered_octets as f64 * 8.0 / elapsed
         } else {

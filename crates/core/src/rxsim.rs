@@ -45,8 +45,8 @@ use hni_aal::AalType;
 use hni_sim::{BusFaultPlan, Duration, EventQueue, FaultInjector, FaultPlan, Summary, Time};
 use hni_sonet::LineRate;
 use hni_telemetry::{
-    Activity, Component, HdrHist, NullProfiler, NullTracer, Profiler, Stage, TraceEvent, Tracer,
-    VcMetrics,
+    Activity, Component, HdrHist, NullProfiler, NullTracer, Profiler, Stage, TailReservoir,
+    TraceEvent, Tracer, VcMetrics,
 };
 use std::collections::VecDeque;
 
@@ -363,6 +363,9 @@ pub struct RxReport {
     /// Packet latency distribution (ps): always-on log₂ histogram with
     /// p50/p90/p99/p999 bands.
     pub latency_hist: HdrHist,
+    /// Tail exemplars: the slowest packets' identities plus a
+    /// deterministic identity sample (always on, fixed capacity).
+    pub tail: TailReservoir,
     /// Per-connection cell volume at bounded cardinality (always on).
     pub vc_cells: VcMetrics,
     /// When the last packet completed ([`Time::ZERO`] if none did).
@@ -592,6 +595,7 @@ fn run_rx_inner(
     let mut failed_packets = 0u64;
     let mut latency = Summary::new();
     let mut latency_hist = HdrHist::new();
+    let mut tail = TailReservoir::paper();
     let mut vc_cells = VcMetrics::new();
     let mut finished_at = Time::ZERO;
     // End of *productive* simulated activity (expiry ticks excluded, so
@@ -979,6 +983,7 @@ fn run_rx_inner(
                             let lat = now.saturating_since(t0);
                             latency.record_us(lat);
                             latency_hist.record_duration(lat);
+                            tail.record(meta.conn as u32, p as u32, lat, now);
                         }
                     }
                 }
@@ -1099,6 +1104,7 @@ fn run_rx_inner(
         pool_mean: pool.mean_in_use(end),
         packet_latency_us: latency,
         latency_hist,
+        tail,
         vc_cells,
         finished_at,
         run_end: end,

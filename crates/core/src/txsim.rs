@@ -36,8 +36,8 @@ use hni_atm::{Gcra, VcId};
 use hni_sim::{Duration, EventQueue, Summary, Time};
 use hni_sonet::LineRate;
 use hni_telemetry::{
-    Activity, Component, HdrHist, NullProfiler, NullTracer, Profiler, Stage, TraceEvent, Tracer,
-    VcMetrics,
+    Activity, Component, HdrHist, NullProfiler, NullTracer, Profiler, Stage, TailReservoir,
+    TraceEvent, Tracer, VcMetrics,
 };
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -117,6 +117,10 @@ pub struct TxReport {
     /// Packet latency distribution (ps): always-on log₂ histogram with
     /// p50/p90/p99/p999 bands — the tail the mean above hides.
     pub latency_hist: HdrHist,
+    /// Tail exemplars: identities of the slowest packets plus a
+    /// deterministic identity sample — the histogram's tail, with
+    /// names attached (always on, fixed capacity).
+    pub tail: TailReservoir,
     /// Per-VC cell volume at bounded cardinality: exact sharded totals
     /// plus the space-saving heavy-hitter top-K (always on, O(K)).
     pub vc_cells: VcMetrics,
@@ -280,6 +284,7 @@ fn run_tx_inner(
     let mut finished_at = Time::ZERO;
     let mut packet_latency = Summary::new();
     let mut latency_hist = HdrHist::new();
+    let mut tail = TailReservoir::paper();
     let mut vc_cells = VcMetrics::new();
     let mut interdeparture: HashMap<VcId, Summary> = HashMap::new();
     let mut slots_elapsed: u64 = 0;
@@ -589,6 +594,7 @@ fn run_tx_inner(
                         let lat = now.saturating_since(packets[pkt_idx].arrival);
                         packet_latency.record_us(lat);
                         latency_hist.record_duration(lat);
+                        tail.record(packets[pkt_idx].vc.cam_key(), pkt_idx as u32, lat, now);
                     }
                 }
                 // Admit waiting VCs into freed FIFO space.
@@ -658,6 +664,7 @@ fn run_tx_inner(
         },
         packet_latency_us: packet_latency,
         latency_hist,
+        tail,
         vc_cells,
         interdeparture_us: interdeparture,
         fifo_peak,

@@ -55,6 +55,22 @@
 //!   tolerance comparison.
 //! * [`json`] — the workspace's single JSON string escaper, shared by
 //!   every hand-rolled JSON writer.
+//!
+//! The tail-anatomy layer turns "p99 regressed" into "this stage
+//! regressed":
+//!
+//! * [`spans`] — [`PacketSpans`], the one-pass per-packet span index
+//!   behind the waterfall, splitting every stage into queue-wait vs
+//!   service time; partial lives (dropped packets) stay attributable.
+//! * [`reservoir`] — [`TailReservoir`], the always-on zero-alloc tail
+//!   exemplar reservoir next to `latency_hist` in every report:
+//!   slowest-N packet identities plus a deterministic identity sample
+//!   the p99+ cohort is carved from, byte-identical across reruns and
+//!   `HNI_JOBS`.
+//! * [`tailattr`] — [`attribute_tail`], the cohort critical-path
+//!   attributor: tail vs median cohorts over the span index, stages
+//!   ranked by excess, rendered as a blame table and Prometheus
+//!   gauges (`report tail <id>`).
 
 pub mod attribution;
 pub mod event;
@@ -64,8 +80,11 @@ pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod profiler;
+pub mod reservoir;
 pub mod sampler;
 pub mod sentinel;
+pub mod spans;
+pub mod tailattr;
 pub mod timeseries;
 pub mod topk;
 pub mod tracer;
@@ -78,8 +97,11 @@ pub use metrics::{Metric, MetricsRegistry};
 pub use profiler::{
     Activity, Component, CycleProfiler, GaugeStats, NullProfiler, Profile, Profiler,
 };
+pub use reservoir::{Exemplar, TailReservoir};
 pub use sampler::SamplingTracer;
 pub use sentinel::{LoopSample, Regression, SentinelRecord};
+pub use spans::{PacketLife, PacketSpans, SpanStage, STAGE_LABELS};
+pub use tailattr::{attribute_tail, StageShare, TailAttribution};
 pub use timeseries::TimeSeries;
 pub use topk::{TopEntry, TopK, VcMetrics, VcShards};
 pub use tracer::{NullTracer, RingTracer, Tracer, VecTracer};

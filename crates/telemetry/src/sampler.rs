@@ -26,9 +26,11 @@ use crate::event::{TraceEvent, NO_ID};
 use crate::tracer::Tracer;
 
 /// Fixed 64-bit finalizer (splitmix64) — the same keyed mix everywhere,
-/// so sampling is reproducible across platforms and versions.
+/// so sampling is reproducible across platforms and versions. Shared
+/// with the tail exemplar reservoir, which samples packet identities
+/// under the same guarantee.
 #[inline]
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

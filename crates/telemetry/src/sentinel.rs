@@ -300,6 +300,34 @@ mod tests {
     }
 
     #[test]
+    fn older_history_without_overhead_keys_is_tolerated() {
+        // A baseline written before the overhead-factor samples existed
+        // — and carrying an unknown top-level field a future writer
+        // might add. It must still parse, and a current record with the
+        // new names must compare clean against it (one-sided names are
+        // ignored, never treated as regressions).
+        let line = "{\"schema\":\"hni-bench-history/1\",\"mode\":\"fast\",\
+                    \"machine\":\"ci-03\",\"loops\":[\
+                    {\"name\":\"e2e_cells\",\"median_ns\":1000.0}]}";
+        let old = SentinelRecord::parse_line(line).expect("older line parses");
+        assert_eq!(old.samples.len(), 1);
+        let cur = rec(
+            "fast",
+            &[
+                ("e2e_cells", 1010.0),
+                ("e2e_cells_reservoir", 1015.0),
+                ("telemetry_overhead_factor", 1.02),
+                ("reservoir_overhead_factor", 1.01),
+            ],
+        );
+        assert!(check(&old, &cur, 0.10).is_empty());
+        // ... and the new keys do participate once both sides have them.
+        let base = rec("fast", &[("reservoir_overhead_factor", 1.01)]);
+        let slow = rec("fast", &[("reservoir_overhead_factor", 1.50)]);
+        assert_eq!(check(&base, &slow, 0.10).len(), 1);
+    }
+
+    #[test]
     fn parse_rejects_malformed_lines() {
         for bad in [
             "",

@@ -19,8 +19,9 @@
 //! complete       → completion span exit
 //! ```
 
-use crate::event::{Phase, Stage, TraceEvent};
-use hni_sim::{Duration, Time};
+use crate::event::TraceEvent;
+use crate::spans::PacketSpans;
+use hni_sim::Duration;
 use std::fmt::Write as _;
 
 /// One stage of a packet's latency waterfall.
@@ -49,77 +50,13 @@ impl Waterfall {
     /// Returns `None` when the trace does not contain the packet's full
     /// life (descriptor fetch through completion) — e.g. the packet was
     /// lost, or tracing was off.
+    ///
+    /// One-shot convenience over [`PacketSpans`]: builds the index and
+    /// extracts a single packet. Callers asking about more than one
+    /// packet should build the index once and query it repeatedly —
+    /// this entry point re-reduces the whole slice per call.
     pub fn from_events(events: &[TraceEvent], pkt: u32) -> Option<Waterfall> {
-        let of_pkt = |ev: &&TraceEvent| ev.pkt == pkt;
-
-        let t_desc = events
-            .iter()
-            .filter(of_pkt)
-            .find(|e| e.stage == Stage::TxDescriptor)?
-            .time;
-        let t_setup = events
-            .iter()
-            .filter(of_pkt)
-            .find(|e| e.stage == Stage::TxSetup && e.phase == Phase::Exit)?
-            .time;
-        // Zero-length packets have no DMA: fall back to the previous edge.
-        let t_first_burst = events
-            .iter()
-            .filter(of_pkt)
-            .find(|e| e.stage == Stage::TxDmaBurst)
-            .map_or(t_setup, |e| e.time);
-        let t_first_cell = events
-            .iter()
-            .filter(of_pkt)
-            .find(|e| e.stage == Stage::TxSegment && e.phase == Phase::Exit)?
-            .time;
-        let t_last_wire = events
-            .iter()
-            .filter(of_pkt)
-            .rfind(|e| e.stage == Stage::TxFramer)?
-            .time;
-        let t_last_arrive = events
-            .iter()
-            .filter(of_pkt)
-            .rfind(|e| e.stage == Stage::RxCellArrive)?
-            .time;
-        let t_rx_cell = events
-            .iter()
-            .filter(of_pkt)
-            .rfind(|e| e.stage == Stage::RxCell && e.phase == Phase::Exit)?
-            .time;
-        let t_validate = events
-            .iter()
-            .filter(of_pkt)
-            .find(|e| e.stage == Stage::RxValidate && e.phase == Phase::Exit)?
-            .time;
-        let t_last_dma = events
-            .iter()
-            .filter(of_pkt)
-            .rfind(|e| e.stage == Stage::RxDmaBurst)
-            .map_or(t_validate, |e| e.time);
-        let t_complete = events
-            .iter()
-            .filter(of_pkt)
-            .find(|e| e.stage == Stage::RxComplete && e.phase == Phase::Exit)?
-            .time;
-
-        let stages = vec![
-            edge("tx setup", t_desc, t_setup),
-            edge("tx 1st burst", t_setup, t_first_burst),
-            edge("tx 1st cell", t_first_burst, t_first_cell),
-            edge("serialize", t_first_cell, t_last_wire),
-            edge("propagate", t_last_wire, t_last_arrive),
-            edge("rx cell", t_last_arrive, t_rx_cell),
-            edge("validate", t_rx_cell, t_validate),
-            edge("deliver dma", t_validate, t_last_dma),
-            edge("complete", t_last_dma, t_complete),
-        ];
-        Some(Waterfall {
-            pkt,
-            stages,
-            total: t_complete.saturating_since(t_desc),
-        })
+        PacketSpans::from_events(events).waterfall(pkt)
     }
 
     /// Sum of stage durations (equals `total` by construction).
@@ -149,16 +86,11 @@ impl Waterfall {
     }
 }
 
-fn edge(label: &'static str, from: Time, to: Time) -> StageLatency {
-    StageLatency {
-        label,
-        duration: to.saturating_since(from),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{Phase, Stage};
+    use hni_sim::Time;
 
     fn synthetic_trace() -> Vec<TraceEvent> {
         // A hand-built single-packet life with known edges (ns).

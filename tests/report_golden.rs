@@ -64,9 +64,9 @@ fn ra2_quotes_the_mips_minimums() {
 
 #[test]
 fn experiment_list_is_complete_and_ordered() {
-    assert_eq!(EXPERIMENT_IDS.len(), 17);
+    assert_eq!(EXPERIMENT_IDS.len(), 18);
     assert!(EXPERIMENT_IDS.starts_with(&["r-t1", "r-t2"]));
-    assert!(EXPERIMENT_IDS.ends_with(&["r-o1", "r-r1"]));
+    assert!(EXPERIMENT_IDS.ends_with(&["r-o2", "r-r1"]));
 }
 
 #[test]
@@ -79,6 +79,16 @@ fn rr1_quotes_the_policy_comparison() {
     // drop-tail at zero in overload, graceful policies delivering.
     assert!(out.contains("0 b/s"), "drop-tail collapse missing");
     assert!(out.contains("Mb/s"), "graceful-policy goodput missing");
+}
+
+#[test]
+fn ro2_quotes_the_blame_and_verdict() {
+    let out = run_experiment("r-o2").unwrap();
+    assert!(out.contains("baseline verdict"), "baseline row missing");
+    assert!(out.contains("injected verdict"), "injected row missing");
+    assert!(out.contains("deliver dma"), "planted stage missing");
+    assert!(out.contains("analytic floor"), "cross-check missing");
+    assert!(out.contains("PASS"), "machine check failed:\n{out}");
 }
 
 #[test]
