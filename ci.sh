@@ -36,6 +36,8 @@ grep -q '"telemetry_overhead"' bench_perf_smoke.json || {
     echo "BENCH_PERF schema: missing telemetry_overhead" >&2; exit 1; }
 grep -q '"reservoir_overhead"' bench_perf_smoke.json || {
     echo "BENCH_PERF schema: missing reservoir_overhead" >&2; exit 1; }
+grep -q '"transport_overhead"' bench_perf_smoke.json || {
+    echo "BENCH_PERF schema: missing transport_overhead" >&2; exit 1; }
 
 echo "==> perf gate: hec_delineation sustains OC-12 line rate (1.47M cells/s)"
 # The burst delineator must stay comfortably past the 622.08 Mb/s line
@@ -109,6 +111,18 @@ HNI_JOBS=4 cargo run -q -p hni-bench --bin report --release -- \
 cmp sampled_trace_j1.jsonl sampled_trace_j4.jsonl || {
     echo "sampled trace diverged across worker counts" >&2; exit 1; }
 rm -f sampled_trace_j1.jsonl sampled_trace_j4.jsonl
+
+echo "==> r-w1 smoke: closed-loop golden verdict, identical across HNI_JOBS"
+# The closed-loop transport report must render its PASS verdict (EPD/PPD
+# dominance sharpened at the matched congestion point, satellite 10%-loss
+# goodput nonzero) and be byte-identical across worker counts.
+HNI_JOBS=1 cargo run -q -p hni-bench --bin report --release -- r-w1 > rw1_j1.txt
+grep -q 'golden verdict: PASS' rw1_j1.txt || {
+    echo "report r-w1: golden verdict is not PASS" >&2; exit 1; }
+HNI_JOBS=4 cargo run -q -p hni-bench --bin report --release -- r-w1 > rw1_j4.txt
+cmp rw1_j1.txt rw1_j4.txt || {
+    echo "r-w1 sweep diverged across worker counts" >&2; exit 1; }
+rm -f rw1_j1.txt rw1_j4.txt
 
 echo "==> parallel report == serial report (HNI_JOBS 1 vs 4, pinned seeds)"
 HNI_JOBS=1 cargo run -q -p hni-bench --bin report --release -- r-t4 > par_eq_serial.txt

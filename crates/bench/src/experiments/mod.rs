@@ -19,3 +19,4 @@ pub mod rt2_partition;
 pub mod rt3_memory;
 pub mod rt4_pacing;
 pub mod rt5_overhead;
+pub mod rw1_transport;

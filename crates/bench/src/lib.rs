@@ -19,9 +19,9 @@ pub use par_sweep::{jobs_from_env, par_sweep, par_sweep_with_jobs};
 pub use table::Table;
 
 /// All experiment ids, in report order.
-pub const EXPERIMENT_IDS: [&str; 18] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "r-t1", "r-t2", "r-t3", "r-t4", "r-t5", "r-f1", "r-f2", "r-f3", "r-f4", "r-f5", "r-f6", "r-f7",
-    "r-f8", "r-a1", "r-a2", "r-o1", "r-o2", "r-r1",
+    "r-f8", "r-a1", "r-a2", "r-o1", "r-o2", "r-r1", "r-w1",
 ];
 
 /// Experiment ids whose underlying runs can be captured as a trace
@@ -34,7 +34,7 @@ pub const PROFILE_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
 
 /// Experiment ids whose canonical runs report always-on latency
 /// histograms (`report hist <id>`).
-pub const HIST_IDS: [&str; 3] = ["r-f1", "r-f2", "r-f3"];
+pub const HIST_IDS: [&str; 4] = ["r-f1", "r-f2", "r-f3", "r-w1"];
 
 /// Experiment ids whose canonical runs report per-VC heavy hitters
 /// (`report topvc <id>`).
@@ -151,6 +151,12 @@ fn hist_series(id: &str) -> Option<(&'static str, Vec<(&'static str, hni_telemet
             series.push(("rx", r.rx.latency_hist.clone()));
             series.push(("e2e", r.latency_hist));
             "R-F3 canonical loaded end-to-end run (descriptor at A -> completion at B)"
+        }
+        "r-w1" => {
+            let r = experiments::rw1_transport::canonical_run();
+            series.push(("frame", r.frame_latency));
+            "R-W1 canonical closed-loop run (satellite path, 1% loss; \
+             first transmission -> unique delivery)"
         }
         _ => return None,
     };
@@ -474,6 +480,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "r-o1" => Some(experiments::ro1_bottleneck::run()),
         "r-o2" => Some(experiments::ro2_tail::run()),
         "r-r1" => Some(experiments::rr1_discard::run()),
+        "r-w1" => Some(experiments::rw1_transport::run()),
         _ => None,
     }
 }
@@ -501,6 +508,8 @@ mod tests {
         assert_eq!(normalize_id("r-f1"), "r-f1");
         assert_eq!(normalize_id("RF1"), "r-f1");
         assert_eq!(normalize_id("ro1"), "r-o1");
+        assert_eq!(normalize_id("rw1"), "r-w1");
+        assert_eq!(normalize_id("RW1"), "r-w1");
         assert_eq!(normalize_id("list"), "list"); // non-id words untouched
         assert_eq!(normalize_id("r"), "r");
     }

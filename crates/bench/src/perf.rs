@@ -34,6 +34,7 @@ use hni_aal::aal5::{self, Aal5Reassembler};
 use hni_atm::{CellSlab, Delineator, VcId, CELL_SIZE};
 use hni_sim::{Duration, Time};
 use hni_telemetry::{json, HdrHist, LoopSample, SentinelRecord, TailReservoir, VcMetrics};
+use hni_transport::{RtoConfig, RtoEstimator, SendWindow};
 
 /// One hot loop's timing, normalised to cell rate.
 pub struct HotLoop {
@@ -78,6 +79,12 @@ pub struct PerfReport {
     /// the loop) so the ratio prices exactly what the always-on
     /// exemplars add per packet completion. Same <5% budget.
     pub reservoir_overhead: f64,
+    /// Closed-loop transport bookkeeping overhead on the e2e hot loop:
+    /// `e2e_cells_transport` median / `e2e_cells` median − 1. Per
+    /// frame the data path completes, `hni-transport` runs one sliding-
+    /// window take/ack cycle and one Jacobson RTO update — that control
+    /// plane must stay in the data path's noise. Same <5% budget.
+    pub transport_overhead: f64,
 }
 
 const SDU_LEN: usize = 9180;
@@ -210,6 +217,37 @@ pub fn run_perf(fast: bool) -> PerfReport {
     let e2e_res = hot_loop(e2e_res, burst_cells);
     let reservoir_overhead = e2e_res.result.median_ns / e2e.result.median_ns.max(1e-9) - 1.0;
 
+    // --- the round trip plus the closed-loop transport bookkeeping ---
+    // Per SDU: one sliding-window take/cum-ack cycle and one Jacobson
+    // RTT sample + RTO read — the control-plane work `hni-transport`
+    // adds for each frame the data path completes. Cells ride the same
+    // slab fast path, so the ratio against `e2e_cells` prices exactly
+    // the window/RTO tax.
+    const WIN_FRAMES: usize = 1 << 16;
+    let mut win = SendWindow::new(BURST_SDUS, WIN_FRAMES);
+    let mut est = RtoEstimator::new(RtoConfig::DEFAULT);
+    let e2e_tr = measure("e2e_cells_transport", samples, sample_s, || {
+        refs.clear();
+        aal5::segment_burst(vc, &sdus, 0, &mut slab, &mut refs);
+        done.clear();
+        reasm.deliver_burst(&refs, &slab, Time::ZERO, &mut done);
+        slab.free_all(&refs);
+        for (i, sdu) in done.drain(..).flatten().enumerate() {
+            if !win.can_send_new() {
+                // The scratch transfer ran dry; recreating it is rare
+                // (every 2^16 frames) and amortises to nothing.
+                win = SendWindow::new(BURST_SDUS, WIN_FRAMES);
+            }
+            let seq = win.take_next();
+            est.sample(Duration::from_ps((i as u64 + 1) * 1_000_000));
+            win.on_cum_ack(seq + 1);
+            std::hint::black_box(est.rto());
+            reasm.recycle(sdu.data);
+        }
+    });
+    let e2e_tr = hot_loop(e2e_tr, burst_cells);
+    let transport_overhead = e2e_tr.result.median_ns / e2e.result.median_ns.max(1e-9) - 1.0;
+
     // --- serial vs parallel R-F1 sweep ---
     let pkts = if fast { 3 } else { 12 };
     let sweep_samples = if fast { 3 } else { 7 };
@@ -230,10 +268,11 @@ pub fn run_perf(fast: bool) -> PerfReport {
     PerfReport {
         mode: if fast { "fast" } else { "full" },
         cores: available_cores(),
-        hot_loops: vec![sar, hec, rx, e2e, e2e_tel, e2e_res],
+        hot_loops: vec![sar, hec, rx, e2e, e2e_tel, e2e_res, e2e_tr],
         sweep,
         telemetry_overhead,
         reservoir_overhead,
+        transport_overhead,
     }
 }
 
@@ -292,6 +331,10 @@ impl PerfReport {
             "  \"reservoir_overhead\": {},\n",
             jnum6(self.reservoir_overhead)
         ));
+        s.push_str(&format!(
+            "  \"transport_overhead\": {},\n",
+            jnum6(self.transport_overhead)
+        ));
         s.push_str("  \"sweep\": {\n");
         s.push_str("    \"name\": \"r-f1\",\n");
         s.push_str(&format!(
@@ -326,6 +369,8 @@ impl PerfReport {
              (budget <5% — histograms + per-VC top-K ride the hot loop by default)\n\
              Tail reservoir overhead (e2e_cells_reservoir vs e2e_cells): {:+.1}%\n\
              (same budget — the exemplar reservoir is always on too)\n\
+             Transport overhead (e2e_cells_transport vs e2e_cells): {:+.1}%\n\
+             (same budget — the closed loop's window/RTO bookkeeping per frame)\n\
              R-F1 sweep: serial {:.1} ms, parallel {:.1} ms at {} jobs → {:.2}x speedup\n\
              (speedup is bounded by the host's core count; simulated results\n\
               are byte-identical either way — see README \"Performance\")\n",
@@ -335,6 +380,7 @@ impl PerfReport {
             t.render(),
             self.telemetry_overhead * 100.0,
             self.reservoir_overhead * 100.0,
+            self.transport_overhead * 100.0,
             self.sweep.serial_ns / 1e6,
             self.sweep.parallel_ns / 1e6,
             self.sweep.jobs,
@@ -374,6 +420,10 @@ impl PerfReport {
             name: "reservoir_overhead_factor".into(),
             median_ns: 1.0 + self.reservoir_overhead,
         });
+        samples.push(LoopSample {
+            name: "transport_overhead_factor".into(),
+            median_ns: 1.0 + self.transport_overhead,
+        });
         SentinelRecord {
             mode: self.mode.to_string(),
             samples,
@@ -389,7 +439,7 @@ mod tests {
     fn fast_perf_runs_and_serialises() {
         let r = run_perf(true);
         assert_eq!(r.mode, "fast");
-        assert_eq!(r.hot_loops.len(), 6);
+        assert_eq!(r.hot_loops.len(), 7);
         for h in &r.hot_loops {
             assert!(h.cells_per_sec > 0.0, "{}", h.result.name);
             assert!(h.result.median_ns > 0.0, "{}", h.result.name);
@@ -408,6 +458,11 @@ mod tests {
             "reservoir overhead {}",
             r.reservoir_overhead
         );
+        assert!(
+            r.transport_overhead.is_finite() && r.transport_overhead > -1.0,
+            "transport overhead {}",
+            r.transport_overhead
+        );
         let json = r.to_json();
         for key in [
             "\"schema\": \"hni-bench-perf/1\"",
@@ -417,12 +472,14 @@ mod tests {
             "\"cores\"",
             "\"telemetry_overhead\"",
             "\"reservoir_overhead\"",
+            "\"transport_overhead\"",
             "aal5_sar_slab",
             "hec_delineation",
             "rx_reassembly",
             "e2e_cells",
             "e2e_cells_telemetry",
             "e2e_cells_reservoir",
+            "e2e_cells_transport",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -441,17 +498,22 @@ mod tests {
         assert!(text.contains("speedup"), "{text}");
         assert!(text.contains("telemetry overhead"), "{text}");
         assert!(text.contains("reservoir overhead"), "{text}");
+        assert!(text.contains("Transport overhead"), "{text}");
         // The sentinel record round-trips through its own line format.
         let rec = r.sentinel_record();
         assert_eq!(
             rec.samples.len(),
-            9,
-            "6 hot loops + sweep_serial + 2 overhead factors"
+            11,
+            "7 hot loops + sweep_serial + 3 overhead factors"
         );
         assert!(rec
             .samples
             .iter()
             .any(|s| s.name == "reservoir_overhead_factor" && s.median_ns > 0.0));
+        assert!(rec
+            .samples
+            .iter()
+            .any(|s| s.name == "transport_overhead_factor" && s.median_ns > 0.0));
         let parsed = SentinelRecord::parse_line(&rec.to_line()).expect("own line parses");
         assert_eq!(parsed.mode, "fast");
         assert_eq!(parsed.samples.len(), rec.samples.len());

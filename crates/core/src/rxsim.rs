@@ -196,10 +196,22 @@ impl RxWorkload {
 
 /// Per-cell conservation ledger: every cell the link injected ends in
 /// exactly one bucket, so `reconciles()` is the chaos-test invariant.
+///
+/// Closed-loop transports (`hni-transport`) inject the same cell's
+/// payload more than once: a retransmitted frame is a *new* set of
+/// cells on the wire, each owed its own fate. Two extra fields keep the
+/// invariant exact under recovery: `injected_retx` records provenance
+/// (how many of `injected` were retransmissions — a subset, not a
+/// fate), and `discarded_superseded` is the fate of cells that arrived
+/// intact for a frame some earlier copy had already delivered.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CellLedger {
     /// Cells injected at the far end (arrivals + link losses).
     pub injected: u64,
+    /// Of `injected`, cells that were retransmissions (second or later
+    /// copies of a frame sent by a closed-loop transport). Provenance,
+    /// not a fate: these cells still land in exactly one bucket below.
+    pub injected_retx: u64,
     /// Cells the link itself dropped (never reached the interface).
     pub dropped_link: u64,
     /// Cells lost to input-FIFO overrun.
@@ -219,6 +231,11 @@ pub struct CellLedger {
     /// Cells of doomed frames abandoned at end of frame (or when the
     /// run drained with the expiry timer disabled).
     pub discarded_abandoned: u64,
+    /// Cells of frames that reassembled and validated intact but whose
+    /// payload an earlier transmission had already delivered (spurious
+    /// retransmission or wire duplication under a closed-loop
+    /// transport). The receiver acks and discards them.
+    pub discarded_superseded: u64,
     /// Cells that reached host memory inside a delivered frame.
     pub delivered_cells: u64,
 }
@@ -235,13 +252,14 @@ impl CellLedger {
             + self.discarded_crc
             + self.discarded_expired
             + self.discarded_abandoned
+            + self.discarded_superseded
             + self.delivered_cells
     }
 
     /// The conservation invariant: no cell unaccounted, none counted
-    /// twice.
+    /// twice, and retransmit provenance never exceeds what was injected.
     pub fn reconciles(&self) -> bool {
-        self.accounted() == self.injected
+        self.accounted() == self.injected && self.injected_retx <= self.injected
     }
 }
 

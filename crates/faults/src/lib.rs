@@ -26,7 +26,7 @@
 //! entropy, no global state.
 
 pub use hni_sim::faults::{
-    BusFaultPlan, FaultInjector, FaultPlan, FaultProcess, GeParams, UnitFate,
+    BusFaultPlan, DelayLine, DelayModel, FaultInjector, FaultPlan, FaultProcess, GeParams, UnitFate,
 };
 
 /// Named fault scenarios with parameters grounded in the ATM
@@ -91,6 +91,34 @@ pub mod scenarios {
             retry_probability: 0.01,
             seed,
         }
+    }
+
+    /// A campus/LAN path: ~5 µs one way (a kilometre of fibre plus a
+    /// switch), no jitter. Feedback is essentially immediate at cell
+    /// timescales, so window dynamics barely bite.
+    pub const fn lan_path() -> DelayModel {
+        DelayModel::fixed(hni_sim::Duration::from_us(5))
+    }
+
+    /// A continental WAN path: 25 ms one way (≈ 50 ms RTT) with up to
+    /// 500 µs of seeded jitter from queueing along the way.
+    pub const fn wan_path() -> DelayModel {
+        DelayModel::jittered(
+            hni_sim::Duration::from_ms(25),
+            hni_sim::Duration::from_us(500),
+        )
+    }
+
+    /// A geostationary satellite hop, after Goyal/Jain's satellite-ATM
+    /// scenario: 280 ms one way (≥ 560 ms RTT, comfortably past the
+    /// 500 ms the literature treats as the long-delay regime) with up
+    /// to 1 ms of seeded jitter. Timeout and backoff policy, not line
+    /// rate, dominates goodput here.
+    pub const fn satellite_path() -> DelayModel {
+        DelayModel::jittered(
+            hni_sim::Duration::from_ms(280),
+            hni_sim::Duration::from_ms(1),
+        )
     }
 }
 
@@ -184,6 +212,18 @@ mod tests {
         scenarios::contended_bus(7).validate();
         assert!(scenarios::clean().is_none());
         assert!(!scenarios::bursty_congestion(0.01, 12.0).is_none());
+    }
+
+    #[test]
+    fn delay_presets_are_ordered_and_satellite_is_long() {
+        let lan = scenarios::lan_path();
+        let wan = scenarios::wan_path();
+        let sat = scenarios::satellite_path();
+        assert!(lan.is_fixed());
+        assert!(lan.base < wan.base && wan.base < sat.base);
+        // The satellite preset must put the round trip past the 500 ms
+        // long-delay threshold even with zero jitter drawn.
+        assert!(sat.base.times(2) >= hni_sim::Duration::from_ms(500));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! model in `hni-core`.
 
 use crate::rng::Rng;
+use crate::time::Duration;
 
 /// Parameters of a two-state Gilbert–Elliott channel.
 ///
@@ -382,6 +383,97 @@ impl FaultInjector {
     }
 }
 
+/// A deterministic one-way propagation-delay model: a fixed base delay
+/// plus optional seeded jitter, uniform in `[0, jitter]`.
+///
+/// This is the piece [`FaultPlan`] deliberately does not express: *when*
+/// a surviving unit arrives, as opposed to *whether* and *how mangled*.
+/// Closed-loop transports care because the feedback delay — not the
+/// loss rate — sets the cost of every retransmission decision. The
+/// model is two numbers so that a scenario (LAN, WAN, satellite) can be
+/// named as a constant; the stateful, RNG-owning half is [`DelayLine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelayModel {
+    /// Fixed one-way propagation delay applied to every unit.
+    pub base: Duration,
+    /// Maximum extra delay; each unit draws uniformly in `[0, jitter]`.
+    /// `Duration::ZERO` disables jitter and costs no randomness.
+    pub jitter: Duration,
+}
+
+impl DelayModel {
+    /// Zero delay, zero jitter — a wire of no length.
+    pub const NONE: DelayModel = DelayModel {
+        base: Duration::ZERO,
+        jitter: Duration::ZERO,
+    };
+
+    /// A fixed delay with no jitter.
+    pub const fn fixed(base: Duration) -> Self {
+        DelayModel {
+            base,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// A base delay with seeded uniform jitter on top.
+    pub const fn jittered(base: Duration, jitter: Duration) -> Self {
+        DelayModel { base, jitter }
+    }
+
+    /// True when every unit sees exactly `base` — the deterministic
+    /// fast path that must consume no randomness.
+    pub fn is_fixed(&self) -> bool {
+        self.jitter == Duration::ZERO
+    }
+
+    /// Worst-case one-way delay under this model.
+    pub fn max_delay(&self) -> Duration {
+        self.base + self.jitter
+    }
+}
+
+/// A [`DelayModel`] bound to its private RNG stream: feed it units, it
+/// hands back one-way delays. Deterministic per seed, and the jitterless
+/// model draws **zero** random values — the same contract
+/// [`FaultInjector::fate`] honours for [`FaultPlan::NONE`].
+#[derive(Clone, Debug)]
+pub struct DelayLine {
+    model: DelayModel,
+    rng: Rng,
+}
+
+impl DelayLine {
+    /// Bind a delay model to an RNG stream.
+    pub fn new(model: DelayModel, rng: Rng) -> Self {
+        DelayLine { model, rng }
+    }
+
+    /// Convenience: seed a delay line directly.
+    pub fn seeded(model: DelayModel, seed: u64) -> Self {
+        DelayLine::new(model, Rng::new(seed))
+    }
+
+    /// One-way delay for the next unit.
+    pub fn delay(&mut self) -> Duration {
+        if self.model.jitter == Duration::ZERO {
+            return self.model.base;
+        }
+        let extra = self.rng.below(self.model.jitter.as_ps() + 1);
+        self.model.base + Duration::from_ps(extra)
+    }
+
+    /// The model this line executes.
+    pub fn model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    /// Raw RNG values consumed — zero for a jitterless model, forever.
+    pub fn rng_draws(&self) -> u64 {
+        self.rng.draws()
+    }
+}
+
 /// Fault plan for a shared-bus model: per-grant arbitration stalls and
 /// aborted-then-retried bursts. Carries its own seed so a config struct
 /// can describe the whole fault scenario in one value.
@@ -560,6 +652,40 @@ mod tests {
     #[should_panic(expected = "outside [0,1]")]
     fn validate_rejects_bad_probability() {
         FaultInjector::seeded(FaultPlan::loss(1.5), 1);
+    }
+
+    #[test]
+    fn fixed_delay_line_is_free() {
+        let model = DelayModel::fixed(Duration::from_ms(270));
+        assert!(model.is_fixed());
+        let mut line = DelayLine::seeded(model, 3);
+        for _ in 0..10_000 {
+            assert_eq!(line.delay(), Duration::from_ms(270));
+        }
+        assert_eq!(
+            line.rng_draws(),
+            0,
+            "jitterless line must cost no randomness"
+        );
+    }
+
+    #[test]
+    fn jittered_delay_bounded_and_deterministic() {
+        let model = DelayModel::jittered(Duration::from_us(500), Duration::from_us(100));
+        assert!(!model.is_fixed());
+        assert_eq!(model.max_delay(), Duration::from_us(600));
+        let run = |seed| {
+            let mut line = DelayLine::seeded(model, seed);
+            (0..5_000).map(|_| line.delay()).collect::<Vec<_>>()
+        };
+        let a = run(9);
+        for &d in &a {
+            assert!(d >= Duration::from_us(500) && d <= Duration::from_us(600));
+        }
+        // The jitter actually moves: not every delay is the base.
+        assert!(a.iter().any(|&d| d != Duration::from_us(500)));
+        assert_eq!(a, run(9));
+        assert_ne!(a, run(10));
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
-pub use faults::{BusFaultPlan, FaultInjector, FaultPlan, FaultProcess, GeParams, UnitFate};
+pub use faults::{
+    BusFaultPlan, DelayLine, DelayModel, FaultInjector, FaultPlan, FaultProcess, GeParams, UnitFate,
+};
 pub use link::{Link, LinkDelivery};
 pub use queue::BoundedFifo;
 pub use rng::Rng;

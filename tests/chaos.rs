@@ -138,6 +138,77 @@ fn chaotic_e2e_runs_never_panic_and_conserve_packets() {
     }
 }
 
+/// With the closed-loop transport enabled, recovery *re-injects* cells
+/// — retransmitted frames and late duplicates of already-delivered
+/// ones — and the ledger must still reconcile every injected cell to
+/// exactly one fate, with `injected_retx` carrying the provenance and
+/// `discarded_superseded` the fate of redundant deliveries.
+#[test]
+fn chaotic_transport_runs_conserve_cells_with_retransmission() {
+    use hni_faults::{scenarios, DelayModel};
+    use hni_transport::{run_transport, TransportConfig};
+    for seed in seeds() {
+        let mut cfg = TransportConfig::paper(LineRate::Oc12);
+        cfg.n_vcs = 2;
+        cfg.frames_per_vc = 6;
+        cfg.frame_len = 1536;
+        cfg.policy = match seed % 3 {
+            0 => DiscardPolicy::DropTail,
+            1 => DiscardPolicy::Epd { threshold: 2 },
+            _ => DiscardPolicy::Ppd,
+        };
+        if seed % 2 == 1 {
+            cfg.pool.total_buffers = 8;
+        }
+        cfg.fwd_plan = chaos::random_plan(seed);
+        cfg.rev_plan = chaos::random_plan(seed ^ 0x5EED);
+        cfg.seed = seed;
+        let path = match seed % 4 {
+            0 => DelayModel::NONE,
+            1 => scenarios::lan_path(),
+            _ => scenarios::wan_path(),
+        };
+        let cfg = cfg.with_path(path);
+        let r = run_transport(&cfg);
+        let l = &r.ledger;
+        assert!(
+            l.reconciles(),
+            "seed {seed}: ledger does not balance: {l:?}"
+        );
+        assert!(
+            l.injected_retx <= l.injected,
+            "seed {seed}: more retransmitted cells than cells: {l:?}"
+        );
+        // Every retransmitted frame contributes its full cell count to
+        // the provenance bucket; wire duplication of a retransmitted
+        // cell can only push it higher.
+        let retx_cells = r.retransmits * cfg.cells_per_frame() as u64;
+        assert!(
+            l.injected_retx >= retx_cells,
+            "seed {seed}: retransmit provenance lost cells: {} < {retx_cells}",
+            l.injected_retx
+        );
+        assert!(
+            retx_cells > 0 || l.injected_retx == 0,
+            "seed {seed}: retransmit provenance without retransmissions"
+        );
+        if r.duplicate_frames > 0 {
+            assert!(
+                l.discarded_superseded > 0,
+                "seed {seed}: duplicate deliveries left no superseded cells: {l:?}"
+            );
+        }
+        // Frame conservation above cell conservation: the sender must
+        // resolve every offered frame, one way or the other.
+        assert!(r.completed, "seed {seed}: transfer did not terminate");
+        assert_eq!(
+            r.acked_frames + r.abandoned_frames,
+            r.offered_frames,
+            "seed {seed}: every offered frame must be acked or abandoned"
+        );
+    }
+}
+
 #[test]
 fn chaos_is_reproducible_per_seed() {
     let wl = RxWorkload::uniform(LineRate::Oc12, hni_aal::AalType::Aal5, 8, 4, 9180, 1.0);

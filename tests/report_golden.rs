@@ -64,9 +64,23 @@ fn ra2_quotes_the_mips_minimums() {
 
 #[test]
 fn experiment_list_is_complete_and_ordered() {
-    assert_eq!(EXPERIMENT_IDS.len(), 18);
+    assert_eq!(EXPERIMENT_IDS.len(), 19);
     assert!(EXPERIMENT_IDS.starts_with(&["r-t1", "r-t2"]));
-    assert!(EXPERIMENT_IDS.ends_with(&["r-o2", "r-r1"]));
+    assert!(EXPERIMENT_IDS.ends_with(&["r-r1", "r-w1"]));
+}
+
+#[test]
+fn rw1_quotes_the_closed_loop_verdict() {
+    let out = run_experiment("r-w1").unwrap();
+    for needle in [
+        "satellite",
+        "Overload leg",
+        "WAN leg",
+        "retx",
+        "golden verdict: PASS",
+    ] {
+        assert!(out.contains(needle), "missing {needle}:\n{out}");
+    }
 }
 
 #[test]
