@@ -28,7 +28,8 @@ echo "==> bench smoke: report perf --fast emits a valid BENCH_PERF.json"
 cargo run -q -p hni-bench --bin report --release -- perf --fast bench_perf_smoke.json > /dev/null
 for key in '"schema": "hni-bench-perf/1"' '"hot_loops"' '"cells_per_sec"' \
            '"speedup"' '"cores"' '"jobs"' \
-           'aal5_sar_slab' 'hec_delineation' 'rx_reassembly' 'e2e_cells'; do
+           'aal5_sar_slab' 'hec_delineation' 'rx_reassembly' 'e2e_cells' \
+           'vc_lookup'; do
     grep -q "$key" bench_perf_smoke.json || {
         echo "BENCH_PERF schema: missing $key" >&2; exit 1; }
 done
@@ -123,6 +124,18 @@ HNI_JOBS=4 cargo run -q -p hni-bench --bin report --release -- r-w1 > rw1_j4.txt
 cmp rw1_j1.txt rw1_j4.txt || {
     echo "r-w1 sweep diverged across worker counts" >&2; exit 1; }
 rm -f rw1_j1.txt rw1_j4.txt
+
+echo "==> r-s1 smoke: million-VC golden verdict, identical across HNI_JOBS"
+# The scale report must render its PASS verdict (flat-ish lookup cost,
+# bounded memory per idle VC, goodput that does not collapse at 1M VCs)
+# and be byte-identical across worker counts.
+HNI_JOBS=1 cargo run -q -p hni-bench --bin report --release -- r-s1 > rs1_j1.txt
+grep -q 'golden verdict: PASS' rs1_j1.txt || {
+    echo "report r-s1: golden verdict is not PASS" >&2; exit 1; }
+HNI_JOBS=4 cargo run -q -p hni-bench --bin report --release -- r-s1 > rs1_j4.txt
+cmp rs1_j1.txt rs1_j4.txt || {
+    echo "r-s1 sweep diverged across worker counts" >&2; exit 1; }
+rm -f rs1_j1.txt rs1_j4.txt
 
 echo "==> parallel report == serial report (HNI_JOBS 1 vs 4, pinned seeds)"
 HNI_JOBS=1 cargo run -q -p hni-bench --bin report --release -- r-t4 > par_eq_serial.txt

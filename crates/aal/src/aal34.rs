@@ -32,9 +32,8 @@
 
 use crate::crc::crc10;
 use crate::{ReassembledSdu, ReassemblyError, ReassemblyFailure, ReassemblyOutcome};
-use hni_atm::{Cell, CellRef, CellSlab, HeaderRepr, VcId, PAYLOAD_SIZE};
+use hni_atm::{Cell, CellRef, CellSlab, HeaderRepr, VcId, VcTable, PAYLOAD_SIZE};
 use hni_sim::{Duration, Time};
-use std::collections::HashMap;
 
 /// SAR payload octets per cell.
 pub const SAR_PAYLOAD: usize = 44;
@@ -130,13 +129,32 @@ pub fn cpcs_pdu_len(len: usize) -> usize {
     CPCS_ENVELOPE + len.div_ceil(4) * 4
 }
 
+/// Pack a (VC, MID) stream identity into one [`VcTable`] key: the
+/// 24-bit cam key shifted above the 10-bit MID. Unique by construction
+/// (MID < 1024 is asserted at every entry point).
+#[inline]
+fn stream_key(vc: VcId, mid: u16) -> u64 {
+    debug_assert!(mid < MID_VALUES);
+    ((vc.cam_key() as u64) << 10) | mid as u64
+}
+
+/// Recover the (VC, MID) pair from a [`stream_key`].
+#[inline]
+fn stream_unkey(key: u64) -> (VcId, u16) {
+    (
+        VcId::new((key >> 26) as u16, (key >> 10) as u16),
+        (key & 0x3FF) as u16,
+    )
+}
+
 /// The AAL3/4 segmenter. Stateful: sequence numbers run continuously per
 /// (VC, MID) stream and BTag/ETag values increment per frame, as a real
 /// transmitter's would.
 #[derive(Default)]
 pub struct Aal34Segmenter {
-    sn: HashMap<(VcId, u16), u8>,
-    tag: HashMap<(VcId, u16), u8>,
+    /// Per-(VC, MID) transmit counters in the sharded VC table (the SN
+    /// runs per cell, the BTag/ETag per frame).
+    streams: VcTable<MidState>,
     /// Reusable CPCS build buffer: after the first frame of the working
     /// set, segmentation allocates nothing per frame (and nothing per
     /// cell on the slab path).
@@ -210,11 +228,15 @@ impl Aal34Segmenter {
     ) {
         assert!(sdu.len() <= MAX_SDU, "SDU exceeds AAL3/4 maximum");
         assert!(mid < MID_VALUES, "MID is a 10-bit field");
+        let key = stream_key(vc, mid);
 
         let tag = {
-            let t = self.tag.entry((vc, mid)).or_insert(0);
-            let cur = *t;
-            *t = t.wrapping_add(1);
+            let (_, st) = self
+                .streams
+                .get_or_insert_with(key, MidState::default)
+                .expect("unbounded table never refuses");
+            let cur = st.tag;
+            st.tag = st.tag.wrapping_add(1);
             cur
         };
 
@@ -242,9 +264,12 @@ impl Aal34Segmenter {
                 _ => SegmentType::Com,
             };
             let sn = {
-                let s = self.sn.entry((vc, mid)).or_insert(0);
-                let cur = *s;
-                *s = (*s + 1) & 0x0F;
+                let st = self
+                    .streams
+                    .get_mut_by_key(key)
+                    .expect("stream state installed above");
+                let cur = st.sn;
+                st.sn = (st.sn + 1) & 0x0F;
                 cur
             };
             let mut body = [0u8; SAR_PAYLOAD];
@@ -263,6 +288,13 @@ impl Aal34Segmenter {
     }
 }
 
+/// Per-(VC, MID) transmit-side counters.
+#[derive(Default)]
+struct MidState {
+    sn: u8,
+    tag: u8,
+}
+
 struct FrameState {
     buf: Vec<u8>,
     next_sn: u8,
@@ -272,7 +304,10 @@ struct FrameState {
 /// The AAL3/4 reassembler: per-(VC, MID) state machines with CRC-10,
 /// sequence-number, tag and length validation.
 pub struct Aal34Reassembler {
-    frames: HashMap<(VcId, u16), FrameState>,
+    /// In-progress frames, keyed by [`stream_key`] in the sharded VC
+    /// table — AAL3/4's 1024-way MID interleave multiplies the live key
+    /// count, which is exactly what the table is built to absorb.
+    frames: VcTable<FrameState>,
     max_sdu: usize,
     timeout: Duration,
     completed: u64,
@@ -285,7 +320,7 @@ impl Aal34Reassembler {
     /// frames older than `timeout`.
     pub fn new(max_sdu: usize, timeout: Duration) -> Self {
         Aal34Reassembler {
-            frames: HashMap::new(),
+            frames: VcTable::new(),
             max_sdu: max_sdu.min(MAX_SDU),
             timeout,
             completed: 0,
@@ -312,7 +347,12 @@ impl Aal34Reassembler {
     }
     /// Octets currently buffered.
     pub fn buffered_octets(&self) -> usize {
-        self.frames.values().map(|f| f.buf.len()).sum()
+        self.frames.iter().map(|(_, f)| f.buf.len()).sum()
+    }
+
+    /// Probe/memory statistics of the backing [`VcTable`].
+    pub fn table_stats(&self) -> hni_atm::TableStats {
+        self.frames.stats()
     }
 
     fn fail(
@@ -321,7 +361,12 @@ impl Aal34Reassembler {
         error: ReassemblyError,
         extra_octets: usize,
     ) -> ReassemblyOutcome {
-        let discarded = self.frames.remove(&key).map(|f| f.buf.len()).unwrap_or(0) + extra_octets;
+        let discarded = self
+            .frames
+            .remove(stream_key(key.0, key.1))
+            .map(|f| f.buf.len())
+            .unwrap_or(0)
+            + extra_octets;
         self.failed += 1;
         Some(Err(ReassemblyFailure {
             vc: key.0,
@@ -351,11 +396,12 @@ impl Aal34Reassembler {
             return None;
         };
         let key = (vc, sar.mid);
+        let skey = stream_key(vc, sar.mid);
 
         match sar.st {
             SegmentType::Ssm => {
                 let mut outcome = None;
-                if self.frames.contains_key(&key) {
+                if self.frames.find(skey).is_some() {
                     outcome = self.fail(key, ReassemblyError::UnexpectedBegin, 0);
                 }
                 let li = sar.li as usize;
@@ -370,7 +416,7 @@ impl Aal34Reassembler {
             }
             SegmentType::Bom => {
                 let mut first_failure = None;
-                if self.frames.contains_key(&key) {
+                if self.frames.find(skey).is_some() {
                     first_failure = self.fail(key, ReassemblyError::UnexpectedBegin, 0);
                 }
                 if sar.li as usize != SAR_PAYLOAD {
@@ -379,7 +425,7 @@ impl Aal34Reassembler {
                     });
                 }
                 self.frames.insert(
-                    key,
+                    skey,
                     FrameState {
                         buf: body.to_vec(),
                         next_sn: (sar.sn + 1) & 0x0F,
@@ -389,7 +435,7 @@ impl Aal34Reassembler {
                 first_failure
             }
             SegmentType::Com | SegmentType::Eom => {
-                let Some(frame) = self.frames.get_mut(&key) else {
+                let Some(frame) = self.frames.get_mut_by_key(skey) else {
                     return self.fail(key, ReassemblyError::NoFrameInProgress, sar.li as usize);
                 };
                 if sar.sn != frame.next_sn {
@@ -414,7 +460,7 @@ impl Aal34Reassembler {
                             return self.fail(key, ReassemblyError::MalformedCpcs, 0);
                         }
                         frame.buf.extend_from_slice(&body[..li]);
-                        let frame = self.frames.remove(&key).expect("frame just updated");
+                        let frame = self.frames.remove(skey).expect("frame just updated");
                         self.validate_cpcs(key, frame.buf)
                     }
                     _ => unreachable!(),
@@ -492,20 +538,21 @@ impl Aal34Reassembler {
     /// Abandon timed-out frames.
     pub fn expire(&mut self, now: Time) -> Vec<ReassemblyFailure> {
         let timeout = self.timeout;
-        let expired: Vec<(VcId, u16)> = self
+        let expired: Vec<u64> = self
             .frames
             .iter()
             .filter(|(_, f)| now.saturating_since(f.started_at) > timeout)
-            .map(|(k, _)| *k)
+            .map(|(k, _)| k)
             .collect();
         expired
             .into_iter()
             .map(|key| {
-                let f = self.frames.remove(&key).expect("key from iteration");
+                let f = self.frames.remove(key).expect("key from iteration");
                 self.failed += 1;
+                let (vc, mid) = stream_unkey(key);
                 ReassemblyFailure {
-                    vc: key.0,
-                    mid: key.1,
+                    vc,
+                    mid,
                     error: ReassemblyError::Timeout,
                     discarded_octets: f.buf.len(),
                 }

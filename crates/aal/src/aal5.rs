@@ -23,9 +23,8 @@
 
 use crate::crc::{crc32, Crc32Accumulator};
 use crate::{ReassembledSdu, ReassemblyError, ReassemblyFailure, ReassemblyOutcome};
-use hni_atm::{Cell, CellRef, CellSlab, HeaderRepr, VcId, PAYLOAD_SIZE};
+use hni_atm::{Cell, CellRef, CellSlab, HeaderRepr, VcId, VcTable, PAYLOAD_SIZE};
 use hni_sim::{Duration, Time};
-use std::collections::HashMap;
 
 /// CPCS trailer size in octets.
 pub const TRAILER_SIZE: usize = 8;
@@ -167,7 +166,11 @@ struct VcState {
 /// [`Aal5Reassembler::expire`] periodically to enforce the reassembly
 /// timeout. Statistics count completions and every failure class.
 pub struct Aal5Reassembler {
-    vcs: HashMap<VcId, VcState>,
+    /// Per-VC frame state in the sharded open-addressing table, keyed
+    /// on the packed 24-bit cam key — the same structure the CAM model
+    /// uses, so a million in-progress VCs cost flat lookups and ~bytes,
+    /// not `HashMap` buckets.
+    vcs: VcTable<VcState>,
     max_sdu: usize,
     timeout: Duration,
     completed: u64,
@@ -184,7 +187,7 @@ impl Aal5Reassembler {
     /// frames older than `timeout`.
     pub fn new(max_sdu: usize, timeout: Duration) -> Self {
         Aal5Reassembler {
-            vcs: HashMap::new(),
+            vcs: VcTable::new(),
             max_sdu: max_sdu.min(MAX_SDU),
             timeout,
             completed: 0,
@@ -221,7 +224,12 @@ impl Aal5Reassembler {
     }
     /// Octets currently buffered across all VCs.
     pub fn buffered_octets(&self) -> usize {
-        self.vcs.values().map(|s| s.buf.len()).sum()
+        self.vcs.iter().map(|(_, s)| s.buf.len()).sum()
+    }
+
+    /// Probe/memory statistics of the backing [`VcTable`].
+    pub fn table_stats(&self) -> hni_atm::TableStats {
+        self.vcs.stats()
     }
 
     /// Offer one cell. Returns a completed SDU, a failure report, or
@@ -235,19 +243,23 @@ impl Aal5Reassembler {
             return None; // OAM/RM cells don't participate in reassembly
         }
         let vc = header.vc();
+        let key = vc.cam_key() as u64;
         let spare = &mut self.spare;
-        let state = self.vcs.entry(vc).or_insert_with(|| VcState {
-            buf: spare.pop().unwrap_or_default(),
-            cells: 0,
-            started_at: now,
-        });
+        let (_, state) = self
+            .vcs
+            .get_or_insert_with(key, || VcState {
+                buf: spare.pop().unwrap_or_default(),
+                cells: 0,
+                started_at: now,
+            })
+            .expect("unbounded table never refuses");
         state.buf.extend_from_slice(cell.payload());
         state.cells += 1;
 
         // Oversize guard: largest legal CPCS-PDU for our max_sdu.
         let limit = cpcs_pdu_len(self.max_sdu);
         if state.buf.len() > limit {
-            let state = self.vcs.remove(&vc).expect("state just inserted");
+            let state = self.vcs.remove(key).expect("state just inserted");
             let discarded = state.buf.len();
             self.stash(state.buf);
             self.failed += 1;
@@ -264,7 +276,7 @@ impl Aal5Reassembler {
         }
 
         // Final cell: validate the CPCS-PDU.
-        let state = self.vcs.remove(&vc).expect("state just inserted");
+        let state = self.vcs.remove(key).expect("state just inserted");
         let mut pdu = state.buf;
         debug_assert!(pdu.len().is_multiple_of(PAYLOAD_SIZE));
 
@@ -332,21 +344,21 @@ impl Aal5Reassembler {
     /// ago. Returns one failure report per abandoned frame.
     pub fn expire(&mut self, now: Time) -> Vec<ReassemblyFailure> {
         let timeout = self.timeout;
-        let expired: Vec<VcId> = self
+        let expired: Vec<u64> = self
             .vcs
             .iter()
             .filter(|(_, s)| now.saturating_since(s.started_at) > timeout)
-            .map(|(vc, _)| *vc)
+            .map(|(key, _)| key)
             .collect();
         expired
             .into_iter()
-            .map(|vc| {
-                let s = self.vcs.remove(&vc).expect("key from iteration");
+            .map(|key| {
+                let s = self.vcs.remove(key).expect("key from iteration");
                 self.failed += 1;
                 let discarded = s.buf.len();
                 self.stash(s.buf);
                 ReassemblyFailure {
-                    vc,
+                    vc: VcId::new((key >> 16) as u16, key as u16),
                     mid: 0,
                     error: ReassemblyError::Timeout,
                     discarded_octets: discarded,

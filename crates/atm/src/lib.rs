@@ -19,6 +19,9 @@
 //! * [`slab`] — a fixed-slot cell arena ([`CellSlab`]/[`CellRef`]) so the
 //!   segmentation → link → reassembly fast path allocates nothing per cell.
 //! * [`vc`] — virtual path/channel identifiers.
+//! * [`vctable`] — the million-VC connection table: sharded open
+//!   addressing with 8-bit probe tags over slab arenas with
+//!   generation-counted handles ([`VcTable`]/[`VcHandle`]).
 //!
 //! ## Scope
 //!
@@ -37,6 +40,7 @@ pub mod oam;
 pub mod scrambler;
 pub mod slab;
 pub mod vc;
+pub mod vctable;
 
 pub use cell::{
     Cell, HeaderError, HeaderFormat, HeaderRepr, Pti, CELL_SIZE, HEADER_SIZE, PAYLOAD_SIZE,
@@ -48,3 +52,4 @@ pub use oam::{OamCell, OamError, OamFunction, OamScope, OamType};
 pub use scrambler::{Descrambler, Scrambler};
 pub use slab::{CellRef, CellSlab};
 pub use vc::VcId;
+pub use vctable::{TableStats, VcHandle, VcTable};

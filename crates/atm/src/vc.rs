@@ -67,6 +67,50 @@ mod tests {
     }
 
     #[test]
+    fn cam_key_edges() {
+        // Max UNI VPI (8-bit) with max VCI fills exactly 24 bits.
+        assert_eq!(VcId::new(255, 65535).cam_key(), 0x00FF_FFFF);
+        // Max VCI alone occupies the low 16 bits only.
+        assert_eq!(VcId::new(0, 65535).cam_key(), 0x0000_FFFF);
+        // Max VPI alone occupies bits 16..24 only.
+        assert_eq!(VcId::new(255, 0).cam_key(), 0x00FF_0000);
+        assert_eq!(VcId::new(0, 0).cam_key(), 0);
+    }
+
+    #[test]
+    fn cam_key_16_bit_boundary_does_not_alias() {
+        // (vpi=0, vci=65535) vs (vpi=1, vci=0): adjacent across the
+        // 16-bit boundary — a packing that added instead of OR-ing, or
+        // shifted by the wrong width, would collide them.
+        assert_ne!(VcId::new(0, 65535).cam_key(), VcId::new(1, 0).cam_key());
+        assert_eq!(VcId::new(1, 0).cam_key(), VcId::new(0, 65535).cam_key() + 1);
+        // The 24-bit corner vs the would-be 25th bit pattern.
+        assert_ne!(VcId::new(255, 65535).cam_key(), VcId::new(0, 0).cam_key());
+    }
+
+    #[test]
+    fn cam_key_edge_pairs_distinct_in_table() {
+        // The corner keys must survive the VcTable's hash round trip as
+        // distinct entries (guards against silent truncation in any
+        // future key transform).
+        let corners = [
+            VcId::new(0, 0),
+            VcId::new(0, 65535),
+            VcId::new(1, 0),
+            VcId::new(255, 0),
+            VcId::new(255, 65535),
+        ];
+        let mut t: crate::VcTable<usize> = crate::VcTable::new();
+        for (i, vc) in corners.iter().enumerate() {
+            t.insert(vc.cam_key() as u64, i);
+        }
+        assert_eq!(t.len(), corners.len());
+        for (i, vc) in corners.iter().enumerate() {
+            assert_eq!(t.get_by_key(vc.cam_key() as u64), Some(&i), "{vc}");
+        }
+    }
+
+    #[test]
     fn display() {
         assert_eq!(VcId::new(1, 42).to_string(), "1/42");
     }

@@ -1,0 +1,142 @@
+//! Chaos churn for the [`VcTable`] slab arena's generation counters.
+//!
+//! Thousands of seeded open/close/lookup operations, model-checked
+//! against a `std` HashMap reference. The property under attack is the
+//! no-ABA guarantee: a handle taken before its connection closes must
+//! miss forever afterwards — even when the arena entry has been
+//! recycled for a different connection — and a live handle must always
+//! dereference to *its* connection's state, never a neighbour's.
+//!
+//! Every inserted value carries a globally unique stamp, so any
+//! aliasing (stale handle resolving, probe chain corrupted by
+//! backward-shift deletion, recycled entry leaking) produces a visible
+//! wrong stamp rather than a silently plausible value.
+
+use hni_atm::{VcHandle, VcTable};
+use hni_sim::Rng;
+use std::collections::HashMap;
+
+const SEEDS: [u64; 4] = [1991, 20260808, 0xDEAD_BEEF, 7];
+const OPS: usize = 30_000;
+const KEY_SPACE: u64 = 512; // small key space → heavy recycle pressure
+
+#[test]
+fn churn_never_aliases_and_matches_reference_model() {
+    for seed in SEEDS {
+        churn(seed);
+    }
+}
+
+fn churn(seed: u64) {
+    let mut rng = Rng::new(seed);
+    let mut table: VcTable<u64> = VcTable::new();
+    // Reference model: key → stamp for live keys.
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    // Live handle per key, taken at open time.
+    let mut live: HashMap<u64, VcHandle> = HashMap::new();
+    // Every handle ever issued, with the stamp it was issued for.
+    // Once its key closes, the handle joins the stale set forever.
+    let mut stale: Vec<(VcHandle, u64)> = Vec::new();
+    let mut next_stamp: u64 = 0;
+
+    for op in 0..OPS {
+        let key = rng.below(KEY_SPACE);
+        match rng.below(10) {
+            // open (or reopen) — 40%
+            0..=3 => {
+                let stamp = next_stamp;
+                next_stamp += 1;
+                let h = table.insert(key, stamp).expect("unbounded insert");
+                if let Some(old) = live.insert(key, h) {
+                    // Upsert: same connection, handle must be unchanged.
+                    assert_eq!(old, h, "seed {seed} op {op}: upsert moved the entry");
+                }
+                model.insert(key, stamp);
+            }
+            // close — 30%
+            4..=6 => {
+                let removed = table.remove(key);
+                assert_eq!(
+                    removed,
+                    model.remove(&key),
+                    "seed {seed} op {op}: remove disagrees with model"
+                );
+                if let Some(h) = live.remove(&key) {
+                    let stamp = removed.expect("model said it was live");
+                    stale.push((h, stamp));
+                }
+            }
+            // lookup — 30%
+            _ => {
+                assert_eq!(
+                    table.get_by_key(key),
+                    model.get(&key),
+                    "seed {seed} op {op}: lookup disagrees with model"
+                );
+            }
+        }
+
+        // Every live handle resolves to exactly its own stamp.
+        if op % 512 == 0 {
+            for (k, &h) in &live {
+                assert_eq!(
+                    table.get(h),
+                    model.get(k),
+                    "seed {seed} op {op}: live handle wrong for key {k}"
+                );
+            }
+        }
+        // Every stale handle misses — forever, across recycling.
+        if op % 128 == 0 {
+            for &(h, stamp) in &stale {
+                assert_eq!(
+                    table.get(h),
+                    None,
+                    "seed {seed} op {op}: stale handle (stamp {stamp}) resolved \
+                     — generation counter failed, ABA aliasing"
+                );
+            }
+        }
+    }
+
+    // Final full sweep: model equivalence both ways.
+    assert_eq!(table.len(), model.len(), "seed {seed}: final size");
+    for (k, v) in &model {
+        assert_eq!(table.get_by_key(*k), Some(v), "seed {seed}: final key {k}");
+    }
+    let mut from_table: Vec<(u64, u64)> = table.iter().map(|(k, &v)| (k, v)).collect();
+    let mut from_model: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    from_table.sort_unstable();
+    from_model.sort_unstable();
+    assert_eq!(from_table, from_model, "seed {seed}: iteration set");
+    for (h, _) in stale {
+        assert_eq!(table.get(h), None, "seed {seed}: stale handle at end");
+    }
+    // The tight key space must actually have exercised recycling.
+    assert!(
+        table.stats().recycled > 0,
+        "seed {seed}: churn never recycled an arena entry"
+    );
+}
+
+#[test]
+fn stale_handle_misses_across_many_recycles_of_same_slot() {
+    // One key, closed and reopened many times: a handle from each
+    // epoch must keep missing through every later epoch, including
+    // generation values far from where the handle was issued.
+    let mut table: VcTable<u32> = VcTable::new();
+    let mut old_handles = Vec::new();
+    for epoch in 0..1000u32 {
+        let h = table.insert(42, epoch).expect("insert");
+        for &(oh, oe) in &old_handles {
+            assert_eq!(
+                table.get(oh),
+                None,
+                "epoch {epoch}: handle from epoch {oe} resolved"
+            );
+        }
+        assert_eq!(table.get(h), Some(&epoch));
+        table.remove(42);
+        old_handles.push((h, epoch));
+    }
+}

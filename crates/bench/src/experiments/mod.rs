@@ -14,6 +14,7 @@ pub mod rf8_congestion;
 pub mod ro1_bottleneck;
 pub mod ro2_tail;
 pub mod rr1_discard;
+pub mod rs1_scale;
 pub mod rt1_budget;
 pub mod rt2_partition;
 pub mod rt3_memory;

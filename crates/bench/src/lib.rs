@@ -19,9 +19,9 @@ pub use par_sweep::{jobs_from_env, par_sweep, par_sweep_with_jobs};
 pub use table::Table;
 
 /// All experiment ids, in report order.
-pub const EXPERIMENT_IDS: [&str; 19] = [
+pub const EXPERIMENT_IDS: [&str; 20] = [
     "r-t1", "r-t2", "r-t3", "r-t4", "r-t5", "r-f1", "r-f2", "r-f3", "r-f4", "r-f5", "r-f6", "r-f7",
-    "r-f8", "r-a1", "r-a2", "r-o1", "r-o2", "r-r1", "r-w1",
+    "r-f8", "r-a1", "r-a2", "r-o1", "r-o2", "r-r1", "r-w1", "r-s1",
 ];
 
 /// Experiment ids whose underlying runs can be captured as a trace
@@ -481,6 +481,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "r-o2" => Some(experiments::ro2_tail::run()),
         "r-r1" => Some(experiments::rr1_discard::run()),
         "r-w1" => Some(experiments::rw1_transport::run()),
+        "r-s1" => Some(experiments::rs1_scale::run()),
         _ => None,
     }
 }

@@ -14,6 +14,9 @@
 //!   `deliver_burst`, with SDU buffers recycled to the spare pool.
 //! * `e2e_cells` — segment → deliver round trip per burst, the full
 //!   steady-state fast path.
+//! * `vc_lookup` — the per-cell "which connection?" probe against a
+//!   fully-populated sharded [`VcTable`], Zipf-distributed keys — the
+//!   wall-clock companion of R-S1's deterministic probe counts.
 //!
 //! A fifth measurement times the R-F1 report sweep serially
 //! (`jobs = 1`) and under the `HNI_JOBS` worker pool, reporting the
@@ -31,8 +34,8 @@ use crate::experiments::rf1_tx_throughput;
 use crate::par_sweep::{available_cores, jobs_from_env};
 use criterion::{measure, BenchResult};
 use hni_aal::aal5::{self, Aal5Reassembler};
-use hni_atm::{CellSlab, Delineator, VcId, CELL_SIZE};
-use hni_sim::{Duration, Time};
+use hni_atm::{CellSlab, Delineator, VcId, VcTable, CELL_SIZE};
+use hni_sim::{Duration, Rng, Time, Zipf};
 use hni_telemetry::{json, HdrHist, LoopSample, SentinelRecord, TailReservoir, VcMetrics};
 use hni_transport::{RtoConfig, RtoEstimator, SendWindow};
 
@@ -170,6 +173,33 @@ pub fn run_perf(fast: bool) -> PerfReport {
     });
     let e2e = hot_loop(e2e, burst_cells);
 
+    // --- VC-table lookup under a Zipf key mix ---
+    // One `get_by_key` per "cell" against a fully-populated table (2^20
+    // VCs full mode, 2^16 fast), keys pre-drawn outside the timed loop
+    // so the measurement prices the probe, not the sampler. The same
+    // table shape R-S1 proves deterministic properties of; this loop is
+    // its wall-clock ns/cell.
+    let table_vcs: usize = if fast { 1 << 16 } else { 1 << 20 };
+    let mut vct: VcTable<u32> = VcTable::with_capacity(table_vcs);
+    for i in 0..table_vcs {
+        vct.insert(i as u64, i as u32);
+    }
+    let lookup_keys: Vec<u64> = {
+        let zipf = Zipf::new(table_vcs, 1.1);
+        let mut rng = Rng::new(0x5157);
+        (0..16_384).map(|_| zipf.sample(&mut rng) as u64).collect()
+    };
+    let vcl = measure("vc_lookup", samples, sample_s, || {
+        let mut hits = 0usize;
+        for &k in &lookup_keys {
+            if std::hint::black_box(vct.get_by_key(k)).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    let vcl = hot_loop(vcl, lookup_keys.len());
+
     // --- the same round trip with the always-on telemetry attached ---
     // Per cell: one VcMetrics.record_cell (shard counters + top-K last
     // -hit cache). Per SDU: one HdrHist.record. That is exactly the
@@ -268,7 +298,7 @@ pub fn run_perf(fast: bool) -> PerfReport {
     PerfReport {
         mode: if fast { "fast" } else { "full" },
         cores: available_cores(),
-        hot_loops: vec![sar, hec, rx, e2e, e2e_tel, e2e_res, e2e_tr],
+        hot_loops: vec![sar, hec, rx, e2e, vcl, e2e_tel, e2e_res, e2e_tr],
         sweep,
         telemetry_overhead,
         reservoir_overhead,
@@ -439,7 +469,7 @@ mod tests {
     fn fast_perf_runs_and_serialises() {
         let r = run_perf(true);
         assert_eq!(r.mode, "fast");
-        assert_eq!(r.hot_loops.len(), 7);
+        assert_eq!(r.hot_loops.len(), 8);
         for h in &r.hot_loops {
             assert!(h.cells_per_sec > 0.0, "{}", h.result.name);
             assert!(h.result.median_ns > 0.0, "{}", h.result.name);
@@ -477,6 +507,7 @@ mod tests {
             "hec_delineation",
             "rx_reassembly",
             "e2e_cells",
+            "vc_lookup",
             "e2e_cells_telemetry",
             "e2e_cells_reservoir",
             "e2e_cells_transport",
@@ -503,8 +534,8 @@ mod tests {
         let rec = r.sentinel_record();
         assert_eq!(
             rec.samples.len(),
-            11,
-            "7 hot loops + sweep_serial + 3 overhead factors"
+            12,
+            "8 hot loops + sweep_serial + 3 overhead factors"
         );
         assert!(rec
             .samples

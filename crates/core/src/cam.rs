@@ -14,9 +14,17 @@
 //! not an error in the device, it is the signal that the cell belongs to
 //! no configured connection and must be dropped (counted — those drops
 //! are invisible otherwise and real interfaces got this wrong).
+//!
+//! Since the million-VC work the entry store is an
+//! [`hni_atm::VcTable`] — the sharded open-addressing table that scales
+//! the same bounded-capacity, hit/miss-accounted semantics to
+//! connection counts the hardware CAM never dreamed of — plus a reverse
+//! index→key map so the hardware invariant *one connection index, one
+//! key* is actually enforced (a real CAM read-out line can only carry
+//! one match).
 
-use hni_atm::VcId;
-use std::collections::HashMap;
+use hni_atm::{VcId, VcTable};
+use std::collections::BTreeMap;
 
 /// Result of a CAM lookup.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,12 +41,26 @@ pub enum CamResult {
 /// accounting are the architecturally relevant behaviour. Lookup latency
 /// is one bus cycle, overlapped with header processing — it never
 /// appears as engine time, which is the point of buying a CAM.
-#[derive(Debug)]
 pub struct Cam {
-    entries: HashMap<u32, u16>,
+    entries: VcTable<u16>,
+    /// Reverse map: connection index → the cam key that owns it.
+    /// Enforces index uniqueness (and makes `insert`'s refusal of a
+    /// stolen index O(log n), with deterministic iteration for free).
+    index_owner: BTreeMap<u16, u32>,
     capacity: usize,
     hits: u64,
     misses: u64,
+}
+
+impl std::fmt::Debug for Cam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cam")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
 }
 
 impl Cam {
@@ -46,7 +68,8 @@ impl Cam {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         Cam {
-            entries: HashMap::with_capacity(capacity),
+            entries: VcTable::bounded(capacity),
+            index_owner: BTreeMap::new(),
             capacity,
             hits: 0,
             misses: 0,
@@ -55,28 +78,51 @@ impl Cam {
 
     /// Install a mapping. Returns `false` (and installs nothing) if the
     /// CAM is full or the index is already in use by another key.
+    ///
+    /// Re-programming an existing key to a new (free) index is allowed,
+    /// even at capacity; the key's old index is released.
     pub fn insert(&mut self, vc: VcId, index: u16) -> bool {
-        if let std::collections::hash_map::Entry::Occupied(mut e) = self.entries.entry(vc.cam_key())
-        {
-            // Re-programming an existing key to a new index is allowed.
-            e.insert(index);
-            return true;
+        let key = vc.cam_key();
+        if let Some(&owner) = self.index_owner.get(&index) {
+            if owner != key {
+                // One read-out line per index: refuse the steal.
+                return false;
+            }
         }
-        if self.entries.len() >= self.capacity {
-            return false;
+        match self.entries.get_mut_by_key(key as u64) {
+            Some(slot) => {
+                let old = *slot;
+                *slot = index;
+                if old != index {
+                    self.index_owner.remove(&old);
+                    self.index_owner.insert(index, key);
+                }
+                true
+            }
+            None => {
+                if self.entries.insert(key as u64, index).is_none() {
+                    return false; // capacity bound
+                }
+                self.index_owner.insert(index, key);
+                true
+            }
         }
-        self.entries.insert(vc.cam_key(), index);
-        true
     }
 
     /// Remove a mapping; returns whether it existed.
     pub fn remove(&mut self, vc: VcId) -> bool {
-        self.entries.remove(&vc.cam_key()).is_some()
+        match self.entries.remove(vc.cam_key() as u64) {
+            Some(index) => {
+                self.index_owner.remove(&index);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Look up a cell's VC (counts hit/miss).
     pub fn lookup(&mut self, vc: VcId) -> CamResult {
-        match self.entries.get(&vc.cam_key()) {
+        match self.entries.get_by_key(vc.cam_key() as u64) {
             Some(&idx) => {
                 self.hits += 1;
                 CamResult::Hit(idx)
@@ -107,6 +153,10 @@ impl Cam {
     /// Lookups that missed (cells for unconfigured VCs).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+    /// Probe/memory statistics of the backing [`hni_atm::VcTable`].
+    pub fn table_stats(&self) -> hni_atm::TableStats {
+        self.entries.stats()
     }
 }
 
@@ -155,12 +205,51 @@ mod tests {
 
     #[test]
     fn distinct_vpi_vci_do_not_collide() {
-        // (vpi=1, vci=0) vs (vpi=0, vci=65536-ish patterns) must be
-        // distinct keys — guards the key packing.
+        // (vpi=1, vci=0) vs (vpi=0, vci=256) must be distinct keys —
+        // guards the key packing.
         let mut cam = Cam::new(8);
         cam.insert(VcId::new(1, 0), 10);
         cam.insert(VcId::new(0, 256), 11);
         assert_eq!(cam.lookup(VcId::new(1, 0)), CamResult::Hit(10));
         assert_eq!(cam.lookup(VcId::new(0, 256)), CamResult::Hit(11));
+    }
+
+    #[test]
+    fn index_collision_refused_as_documented() {
+        // The doc has always promised `false` when "the index is
+        // already in use by another key"; the HashMap-era code never
+        // checked. Pin the now-enforced behaviour.
+        let mut cam = Cam::new(8);
+        assert!(cam.insert(VcId::new(0, 32), 5));
+        assert!(
+            !cam.insert(VcId::new(0, 33), 5),
+            "index 5 is owned by another key"
+        );
+        assert_eq!(cam.len(), 1, "refused insert must install nothing");
+        assert_eq!(cam.lookup(VcId::new(0, 33)), CamResult::Miss);
+        // Same key re-asserting its own index is not a collision.
+        assert!(cam.insert(VcId::new(0, 32), 5));
+    }
+
+    #[test]
+    fn reprogram_releases_old_index() {
+        let mut cam = Cam::new(8);
+        assert!(cam.insert(VcId::new(0, 32), 1));
+        assert!(cam.insert(VcId::new(0, 32), 2), "re-map to a free index");
+        // Index 1 is free again for another key.
+        assert!(cam.insert(VcId::new(0, 33), 1));
+        // But 2 is now taken.
+        assert!(!cam.insert(VcId::new(0, 34), 2));
+        assert_eq!(cam.lookup(VcId::new(0, 32)), CamResult::Hit(2));
+        assert_eq!(cam.lookup(VcId::new(0, 33)), CamResult::Hit(1));
+    }
+
+    #[test]
+    fn remove_releases_index_for_reuse() {
+        let mut cam = Cam::new(8);
+        cam.insert(VcId::new(0, 32), 9);
+        assert!(!cam.insert(VcId::new(0, 33), 9));
+        cam.remove(VcId::new(0, 32));
+        assert!(cam.insert(VcId::new(0, 33), 9), "freed index is reusable");
     }
 }

@@ -20,7 +20,6 @@ use crate::txsim::{run_tx_full, TxConfig, TxPacket};
 use hni_aal::AalType;
 use hni_sim::{Duration, FaultPlan, Summary, Time};
 use hni_telemetry::{HdrHist, NullProfiler, NullTracer, Profiler, TailReservoir, Tracer};
-use std::collections::HashMap;
 
 /// End-to-end results.
 #[derive(Clone, Debug)]
@@ -209,12 +208,17 @@ fn rx_workload_from_departures(
     departures: &[crate::txsim::CellDeparture],
     propagation: Duration,
 ) -> RxWorkload {
-    let mut conn_of = HashMap::new();
+    // VC → connection index through the sharded connection table (same
+    // assignment order as the old HashMap entry API: first-seen wins).
+    let mut conn_of: hni_atm::VcTable<u16> = hni_atm::VcTable::new();
     let pkts: Vec<RxPktMeta> = packets
         .iter()
         .map(|p| {
             let next = conn_of.len() as u16;
-            let conn = *conn_of.entry(p.vc).or_insert(next);
+            let conn = *conn_of
+                .get_or_insert_with(p.vc.cam_key() as u64, || next)
+                .expect("unbounded table never refuses")
+                .1;
             RxPktMeta {
                 conn,
                 len: p.len,

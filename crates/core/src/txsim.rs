@@ -254,7 +254,9 @@ fn run_tx_inner(
 
     let mut q: EventQueue<Ev> = EventQueue::new();
     let mut ctxs: Vec<VcCtx> = Vec::new();
-    let mut ctx_of: HashMap<VcId, usize> = HashMap::new();
+    // VC → context index through the sharded connection table: the TX
+    // side's analogue of the receive CAM lookup.
+    let mut ctx_of: hni_atm::VcTable<usize> = hni_atm::VcTable::new();
 
     // Sort arrivals into the event queue.
     let mut order: Vec<usize> = (0..packets.len()).collect();
@@ -382,17 +384,23 @@ fn run_tx_inner(
                             .pkt(i),
                     );
                 }
-                let ci = *ctx_of.entry(p.vc).or_insert_with(|| {
-                    ctxs.push(VcCtx {
-                        index: ctxs.len(),
-                        vc: p.vc,
-                        waiting: VecDeque::new(),
-                        cur: None,
-                        gcra: None,
-                        last_departure: None,
-                    });
-                    ctxs.len() - 1
-                });
+                let ci = {
+                    let ctxs = &mut ctxs;
+                    *ctx_of
+                        .get_or_insert_with(p.vc.cam_key() as u64, || {
+                            ctxs.push(VcCtx {
+                                index: ctxs.len(),
+                                vc: p.vc,
+                                waiting: VecDeque::new(),
+                                cur: None,
+                                gcra: None,
+                                last_departure: None,
+                            });
+                            ctxs.len() - 1
+                        })
+                        .expect("unbounded table never refuses")
+                        .1
+                };
                 ctxs[ci].waiting.push_back(i);
                 if ctxs[ci].cur.is_none() {
                     start_next_packet(&mut ctxs[ci], packets, cfg, &mut engine_q);

@@ -151,6 +151,58 @@ impl Rng {
     }
 }
 
+/// A Zipf(s) sampler over ranks `0..n`: rank `k` is drawn with
+/// probability proportional to `1 / (k+1)^s`.
+///
+/// This is the canonical "few hot connections, a long cold tail"
+/// arrival mix — the shape real VC populations have, and the worst case
+/// for a connection table's cache behaviour (the hot set thrashes one
+/// probe neighbourhood while the tail keeps the table big). The CDF is
+/// precomputed and normalized at construction; each sample costs
+/// exactly one [`Rng::next_u64`] draw plus a binary search, so the draw
+/// accounting stays exact and the stream is reproducible regardless of
+/// how many samples a worker takes.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks is meaningless");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank in `0..n` (rank 0 is the hottest).
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +330,45 @@ mod tests {
         }
         // Parent advanced identically too.
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zipf_is_bounded_head_heavy_and_single_draw() {
+        let z = Zipf::new(1000, 1.1);
+        let mut r = Rng::new(37);
+        let n = 50_000;
+        let mut counts = vec![0u64; 1000];
+        let before = r.draws();
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert_eq!(r.draws() - before, n, "exactly one draw per sample");
+        // Rank 0 dominates rank 1 dominates the deep tail.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > 20 * counts[500].max(1));
+        // Every sample was in range (counts indexing would have panicked
+        // otherwise) and the head carries a Zipf-like share.
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head as f64 / n as f64 > 0.4, "head share {head}");
+    }
+
+    #[test]
+    fn zipf_deterministic_for_seed() {
+        let z = Zipf::new(257, 0.9);
+        let mut a = Rng::new(41);
+        let mut b = Rng::new(41);
+        for _ in 0..1000 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_n1_always_rank_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut r = Rng::new(43);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
     }
 
     #[test]

@@ -64,9 +64,9 @@ fn ra2_quotes_the_mips_minimums() {
 
 #[test]
 fn experiment_list_is_complete_and_ordered() {
-    assert_eq!(EXPERIMENT_IDS.len(), 19);
+    assert_eq!(EXPERIMENT_IDS.len(), 20);
     assert!(EXPERIMENT_IDS.starts_with(&["r-t1", "r-t2"]));
-    assert!(EXPERIMENT_IDS.ends_with(&["r-r1", "r-w1"]));
+    assert!(EXPERIMENT_IDS.ends_with(&["r-w1", "r-s1"]));
 }
 
 #[test]
@@ -77,6 +77,19 @@ fn rw1_quotes_the_closed_loop_verdict() {
         "Overload leg",
         "WAN leg",
         "retx",
+        "golden verdict: PASS",
+    ] {
+        assert!(out.contains(needle), "missing {needle}:\n{out}");
+    }
+}
+
+#[test]
+fn rs1_quotes_the_scale_verdict() {
+    let out = run_experiment("r-s1").unwrap();
+    for needle in [
+        "1000000",
+        "B/idle VC",
+        "probes/lookup",
         "golden verdict: PASS",
     ] {
         assert!(out.contains(needle), "missing {needle}:\n{out}");
